@@ -1,0 +1,90 @@
+// Command lowstretch builds a low-stretch spanning tree (AKPW, Theorem 5.1)
+// or an ultra-sparse low-stretch subgraph (Theorem 5.9) of a graph and
+// reports its stretch statistics.
+//
+// Examples:
+//
+//	lowstretch -gen grid2d:128x128 -mode tree
+//	lowstretch -gen torus:64x64 -mode subgraph -beta 4 -lambda 2
+//	lowstretch -graph edges.txt -mode tree -compare-mst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"parlap/internal/gen"
+	"parlap/internal/graph"
+	"parlap/internal/graphio"
+	"parlap/internal/lowstretch"
+	"parlap/internal/wd"
+)
+
+var (
+	graphPath  = flag.String("graph", "", "edge-list file")
+	genSpec    = flag.String("gen", "grid2d:64x64", "generator spec (see gen.FromSpec)")
+	mode       = flag.String("mode", "tree", "tree (AKPW) | subgraph (LSSubgraph)")
+	beta       = flag.Float64("beta", 4, "subgraph sparsity/stretch knob β")
+	lambda     = flag.Int("lambda", 2, "subgraph live-class count λ")
+	seed       = flag.Int64("seed", 1, "random seed")
+	compareMST = flag.Bool("compare-mst", false, "also report the MST's stretch for contrast")
+	samples    = flag.Int("samples", 500, "sampled edges for subgraph stretch estimation")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lowstretch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var g *graph.Graph
+	var err error
+	if *graphPath != "" {
+		f, ferr := os.Open(*graphPath)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		g, err = graphio.ReadEdgeList(f)
+	} else {
+		g, err = gen.FromSpec(*genSpec, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d spread=%.3g\n", g.N, g.M(), g.WeightSpread())
+	rng := rand.New(rand.NewSource(*seed))
+	var rec wd.Recorder
+	switch *mode {
+	case "tree":
+		tree, stats := lowstretch.AKPW(g, lowstretch.PracticalParams(), rng, &rec)
+		_, st := lowstretch.TreeStretch(g, tree)
+		fmt.Printf("AKPW tree: %d edges, %d iterations, %d patch edges\n",
+			len(tree), stats.Iterations, stats.PatchEdges)
+		fmt.Printf("stretch: avg=%.3f max=%.1f total=%.0f\n", st.Average, st.Max, st.Total)
+		fmt.Printf("analytic work=%d depth=%d\n", rec.Work(), rec.Depth())
+	case "subgraph":
+		p := lowstretch.ParamsForBeta(g.N, *beta, *lambda, false)
+		sub, stats := lowstretch.LSSubgraph(g, p, rng, &rec)
+		ids := sub.EdgeIDs()
+		st := lowstretch.SubgraphStretchSampled(g, ids, *samples, rng)
+		fmt.Printf("LSSubgraph (beta=%g lambda=%d): %d edges = (n-1) + %d extra\n",
+			*beta, *lambda, len(ids), len(ids)-(g.N-1))
+		fmt.Printf("sampled stretch: avg=%.3f max=%.1f\n", st.Average, st.Max)
+		fmt.Printf("iterations=%d analytic work=%d depth=%d\n",
+			stats.Iterations, rec.Work(), rec.Depth())
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if *compareMST {
+		mst := g.MSTKruskal()
+		_, st := lowstretch.TreeStretch(g, mst)
+		fmt.Printf("MST baseline stretch: avg=%.3f max=%.1f\n", st.Average, st.Max)
+	}
+	return nil
+}

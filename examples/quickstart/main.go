@@ -1,0 +1,56 @@
+// Quickstart: build a graph, solve a Laplacian system, check the residual.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"parlap"
+)
+
+func main() {
+	// A 100×100 unit grid: the canonical SDD benchmark (a discrete Poisson
+	// problem).
+	g := parlap.Grid2D(100, 100)
+	fmt.Printf("graph: n=%d vertices, m=%d edges\n", g.N, g.M())
+
+	s, err := parlap.NewSolver(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Random mean-zero right-hand side (Laplacians are singular on the
+	// all-ones vector; the solver projects automatically, but a mean-zero b
+	// is the well-posed formulation).
+	rng := rand.New(rand.NewSource(42))
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+
+	x, stats := s.Solve(b, 1e-8)
+	fmt.Printf("solved in %d PCG iterations (converged=%v)\n", stats.Iterations, stats.Converged)
+	fmt.Printf("relative residual: %.3g\n", s.Residual(x, b))
+
+	// The same through the general SDD interface: L is SDD, so NewSDDSolver
+	// recognizes the Laplacian structure and skips the Gremban reduction.
+	lap := parlap.Laplacian(g)
+	sdd, err := parlap.NewSDDSolver(lap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x2, _ := sdd.Solve(b, 1e-8)
+	diff := 0.0
+	for i := range x {
+		if d := x[i] - x2[i]; d > diff || -d > diff {
+			if d < 0 {
+				d = -d
+			}
+			diff = d
+		}
+	}
+	fmt.Printf("Laplacian vs SDD interface max deviation: %.3g\n", diff)
+}

@@ -1,0 +1,29 @@
+// Sparsify: spectral graph sparsification by effective resistances [SS08],
+// computed with O(log n) parlap solves — the paper's first application.
+//
+// Run with: go run ./examples/sparsify
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parlap/internal/apps"
+	"parlap/internal/gen"
+)
+
+func main() {
+	g := gen.GNP(1000, 0.05, 3)
+	fmt.Printf("input:      n=%d, m=%d\n", g.N, g.M())
+
+	for _, mult := range []int{4, 8, 16} {
+		q := mult * g.N
+		h, err := apps.SpectralSparsifier(g, q, 0, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := apps.QuadFormDistortion(g, h, 30, 13)
+		fmt.Printf("q=%2d·n:     m_H=%5d (%.1f%% of m), quad-form distortion %.3f\n",
+			mult, h.M(), 100*float64(h.M())/float64(g.M()), d)
+	}
+}

@@ -1,0 +1,270 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"parlap/internal/gen"
+	"parlap/internal/graph"
+	"parlap/internal/solver"
+)
+
+// --- Dinic ---
+
+func TestMaxFlowExactPath(t *testing.T) {
+	// Path with capacities 3,1,2: bottleneck 1.
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1, W: 3}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 2}})
+	if f := MaxFlowExact(g, 0, 3); f != 1 {
+		t.Fatalf("flow = %v, want 1", f)
+	}
+}
+
+func TestMaxFlowExactParallelPaths(t *testing.T) {
+	// Two disjoint s-t paths of capacities 2 and 3.
+	g := graph.FromEdges(4, []graph.Edge{
+		{U: 0, V: 1, W: 2}, {U: 1, V: 3, W: 2},
+		{U: 0, V: 2, W: 3}, {U: 2, V: 3, W: 3},
+	})
+	if f := MaxFlowExact(g, 0, 3); f != 5 {
+		t.Fatalf("flow = %v, want 5", f)
+	}
+}
+
+func TestMaxFlowExactUndirectedDiamond(t *testing.T) {
+	// Classic diamond with a cross edge; undirected max-flow 0→3 is 4
+	// (both unit paths plus the cross edge reused both ways is not allowed;
+	// capacities: all edges capacity 2 → min cut {0-1, 0-2} = 4).
+	g := graph.FromEdges(4, []graph.Edge{
+		{U: 0, V: 1, W: 2}, {U: 0, V: 2, W: 2},
+		{U: 1, V: 2, W: 2},
+		{U: 1, V: 3, W: 2}, {U: 2, V: 3, W: 2},
+	})
+	if f := MaxFlowExact(g, 0, 3); f != 4 {
+		t.Fatalf("flow = %v, want 4", f)
+	}
+}
+
+func TestMaxFlowExactGridCut(t *testing.T) {
+	// On a k×k unit grid, corner-to-corner max flow equals the corner
+	// degree (2), the minimum cut.
+	g := gen.Grid2D(6, 6)
+	if f := MaxFlowExact(g, 0, g.N-1); f != 2 {
+		t.Fatalf("grid flow = %v, want 2", f)
+	}
+}
+
+func TestMaxFlowExactDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}})
+	if f := MaxFlowExact(g, 0, 3); f != 0 {
+		t.Fatalf("disconnected flow = %v, want 0", f)
+	}
+}
+
+// --- Electrical flow / approximate max flow ---
+
+func TestElectricalFlowConservation(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	sol, err := solver.New(g, solver.DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := make([]float64, g.M())
+	for i, e := range g.Edges {
+		cond[i] = e.W
+	}
+	flows, _ := ElectricalFlow(sol, g, cond, 0, g.N-1, 1, 1e-10)
+	if errv := FlowConservationError(g, flows, 0, g.N-1); errv > 1e-6 {
+		t.Fatalf("conservation violated by %v", errv)
+	}
+	// Net outflow at s equals the demanded value 1.
+	net := 0.0
+	for i, e := range g.Edges {
+		if e.U == 0 {
+			net += flows[i]
+		} else if e.V == 0 {
+			net -= flows[i]
+		}
+	}
+	if math.Abs(net-1) > 1e-6 {
+		t.Fatalf("source outflow %v, want 1", net)
+	}
+}
+
+func TestElectricalFlowSeriesParallel(t *testing.T) {
+	// Two parallel unit-resistance paths: flow splits inversely to
+	// resistance: direct edge (R=1) carries 2/3, two-hop path (R=2) 1/3.
+	g := graph.FromEdges(3, []graph.Edge{
+		{U: 0, V: 2, W: 1},                     // direct, conductance 1
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, // series pair
+	})
+	sol, err := solver.New(g, solver.DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := []float64{1, 1, 1}
+	flows, _ := ElectricalFlow(sol, g, cond, 0, 2, 1, 1e-10)
+	if math.Abs(flows[0]-2.0/3) > 1e-6 {
+		t.Fatalf("direct edge carries %v, want 2/3", flows[0])
+	}
+	if math.Abs(flows[1]-1.0/3) > 1e-6 {
+		t.Fatalf("series path carries %v, want 1/3", flows[1])
+	}
+}
+
+func TestApproxMaxFlowNearOptimal(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	s, tt := 0, g.N-1
+	exact := MaxFlowExact(g, s, tt)
+	res, err := ApproxMaxFlow(g, s, tt, 0.1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value > exact+1e-6 {
+		t.Fatalf("approx flow %v exceeds exact %v (infeasible)", res.Value, exact)
+	}
+	if res.Value < 0.7*exact {
+		t.Fatalf("approx flow %v below 70%% of exact %v", res.Value, exact)
+	}
+	if c := MaxCongestion(g, res.Flow); c > 1+1e-9 {
+		t.Fatalf("returned flow violates capacities: congestion %v", c)
+	}
+	if e := FlowConservationError(g, res.Flow, s, tt); e > 1e-6 {
+		t.Fatalf("returned flow violates conservation by %v", e)
+	}
+}
+
+func TestApproxMaxFlowBottleneck(t *testing.T) {
+	// Barbell: the path is the bottleneck (capacity 1).
+	g := gen.Barbell(5, 3)
+	s, tt := 0, g.N-1
+	exact := MaxFlowExact(g, s, tt)
+	if exact != 1 {
+		t.Fatalf("barbell exact flow = %v, want 1", exact)
+	}
+	res, err := ApproxMaxFlow(g, s, tt, 0.1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value < 0.7 || res.Value > 1+1e-9 {
+		t.Fatalf("approx flow %v, want within (0.7, 1]", res.Value)
+	}
+}
+
+// --- Effective resistance & sparsifier ---
+
+func TestEffectiveResistancePath(t *testing.T) {
+	// Unit path: R_eff(0, k) = k.
+	g := gen.Path(10)
+	sol, err := solver.New(g, solver.DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := EffectiveResistance(sol, g.N, 0, 9, 1e-10); math.Abs(r-9) > 1e-5 {
+		t.Fatalf("R_eff = %v, want 9", r)
+	}
+}
+
+func TestEffectiveResistanceParallel(t *testing.T) {
+	// Two parallel unit edges: R = 1/2.
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 0, V: 1, W: 1}})
+	sol, err := solver.New(g, solver.DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := EffectiveResistance(sol, g.N, 0, 1, 1e-10); math.Abs(r-0.5) > 1e-6 {
+		t.Fatalf("R_eff = %v, want 0.5", r)
+	}
+}
+
+func TestSpectralSparsifierQuality(t *testing.T) {
+	g := gen.GNP(300, 0.08, 31)
+	q := 12 * g.N // generous sample budget for a small test
+	h, err := SpectralSparsifier(g, q, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() >= g.M() {
+		t.Fatalf("sparsifier not sparser: %d >= %d", h.M(), g.M())
+	}
+	if !h.IsConnected() {
+		t.Fatal("sparsifier disconnected")
+	}
+	if d := QuadFormDistortion(g, h, 25, 33); d > 0.7 {
+		t.Fatalf("quadratic-form distortion %v too large", d)
+	}
+}
+
+func TestSparsifierMoreSamplesLessDistortion(t *testing.T) {
+	g := gen.GNP(200, 0.1, 34)
+	d1Graph, err := SpectralSparsifier(g, 2*g.N, 0, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2Graph, err := SpectralSparsifier(g, 30*g.N, 0, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := QuadFormDistortion(g, d1Graph, 25, 36)
+	d2 := QuadFormDistortion(g, d2Graph, 25, 36)
+	if d2 > d1 {
+		t.Fatalf("more samples increased distortion: %v -> %v", d1, d2)
+	}
+}
+
+// --- Harmonic interpolation ---
+
+func TestHarmonicInterpolationPath(t *testing.T) {
+	// Boundary 0 ↦ 0, end ↦ 1 on a unit path: linear interpolation.
+	n := 11
+	g := gen.Path(n)
+	x, err := HarmonicInterpolation(g, map[int]float64{0: 0, n - 1: 1}, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := float64(i) / float64(n-1)
+		if math.Abs(x[i]-want) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want)
+		}
+	}
+}
+
+func TestHarmonicInterpolationMaxPrinciple(t *testing.T) {
+	// Interior values lie within the boundary range (discrete maximum
+	// principle), and the harmonic residual is tiny.
+	g := gen.Grid2D(12, 12)
+	boundary := map[int]float64{}
+	for c := 0; c < 12; c++ {
+		boundary[c] = 1        // top row
+		boundary[11*12+c] = -1 // bottom row
+	}
+	x, err := HarmonicInterpolation(g, boundary, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, val := range x {
+		if val > 1+1e-6 || val < -1-1e-6 {
+			t.Fatalf("x[%d] = %v violates maximum principle", v, val)
+		}
+	}
+	if r := HarmonicResidual(g, boundary, x); r > 1e-5 {
+		t.Fatalf("harmonic residual %v", r)
+	}
+}
+
+func TestHarmonicInterpolationAllBoundary(t *testing.T) {
+	g := gen.Path(3)
+	x, err := HarmonicInterpolation(g, map[int]float64{0: 1, 1: 2, 2: 3}, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Fatalf("boundary values not preserved: %v", x)
+	}
+}
+
+func TestHarmonicInterpolationNoBoundary(t *testing.T) {
+	if _, err := HarmonicInterpolation(gen.Path(3), nil, 1e-8); err == nil {
+		t.Fatal("expected error with empty boundary")
+	}
+}

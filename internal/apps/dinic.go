@@ -1,0 +1,93 @@
+// Package apps implements the applications the paper claims for its solver
+// (Section 1): spectral sparsification via effective resistances [SS08],
+// approximate maximum flow via electrical flows [CKM+10], and a
+// harmonic-interpolation (Dirichlet) solver representative of the
+// vision/graphics workloads the paper cites. An exact max-flow baseline
+// (Dinic's algorithm) is built from scratch as the comparator.
+package apps
+
+import (
+	"math"
+
+	"parlap/internal/graph"
+)
+
+// MaxFlowExact computes the exact maximum s-t flow value in an undirected
+// capacitated graph (edge weights are capacities) using Dinic's algorithm
+// with BFS level graphs and DFS blocking flows. Each undirected edge becomes
+// a pair of arcs sharing capacity.
+func MaxFlowExact(g *graph.Graph, s, t int) float64 {
+	if s == t {
+		return math.Inf(1)
+	}
+	n := g.N
+	type arc struct {
+		to  int32
+		rev int32 // index of reverse arc in arcs[to]
+		cap float64
+	}
+	arcs := make([][]arc, n)
+	addEdge := func(u, v int, c float64) {
+		arcs[u] = append(arcs[u], arc{int32(v), int32(len(arcs[v])), c})
+		arcs[v] = append(arcs[v], arc{int32(u), int32(len(arcs[u]) - 1), c})
+	}
+	for _, e := range g.Edges {
+		if e.U != e.V && e.W > 0 {
+			addEdge(e.U, e.V, e.W)
+		}
+	}
+	level := make([]int32, n)
+	iter := make([]int, n)
+	queue := make([]int32, 0, n)
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range arcs[u] {
+				if a.cap > 1e-12 && level[a.to] < 0 {
+					level[a.to] = level[u] + 1
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+	var dfs func(u int, f float64) float64
+	dfs = func(u int, f float64) float64 {
+		if u == t {
+			return f
+		}
+		for ; iter[u] < len(arcs[u]); iter[u]++ {
+			a := &arcs[u][iter[u]]
+			if a.cap <= 1e-12 || level[a.to] != level[u]+1 {
+				continue
+			}
+			d := dfs(int(a.to), math.Min(f, a.cap))
+			if d > 0 {
+				a.cap -= d
+				arcs[a.to][a.rev].cap += d
+				return d
+			}
+		}
+		return 0
+	}
+	flow := 0.0
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(s, math.Inf(1))
+			if f <= 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}

@@ -1,0 +1,43 @@
+package decomp
+
+import (
+	"parlap/internal/graph"
+)
+
+// BFSTrees returns, for a decomposition of g, the edge ids of a breadth-
+// first spanning tree of every component, rooted at the component's center.
+// Paths in these trees realize the strong-radius guarantee: every vertex is
+// within ρ tree hops of its center. The returned ids index g.Edges.
+//
+// Implemented as one multi-source BFS from all centers simultaneously, with
+// expansion confined to each vertex's own component.
+func BFSTrees(g *graph.Graph, res *Result) []int {
+	n := g.N
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	frontier := make([]int, 0, res.NumComp)
+	for _, s := range res.Centers {
+		dist[s] = 0
+		frontier = append(frontier, int(s))
+	}
+	var tree []int
+	for len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			cu := res.Comp[u]
+			for i := g.Off[u]; i < g.Off[u+1]; i++ {
+				v := g.Adj[i]
+				if v == u || dist[v] >= 0 || res.Comp[v] != cu {
+					continue
+				}
+				dist[v] = dist[u] + 1
+				tree = append(tree, g.EdgeID[i])
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return tree
+}

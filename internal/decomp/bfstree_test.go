@@ -1,0 +1,84 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"parlap/internal/gen"
+	"parlap/internal/graph"
+)
+
+func TestBFSTreesSpanComponentsWithinRadius(t *testing.T) {
+	g := gen.Grid2D(24, 24)
+	rng := rand.New(rand.NewSource(1))
+	res := SplitGraph(g, 8, PracticalParams(), rng, nil)
+	tree := BFSTrees(g, res)
+	// The trees form a forest with exactly one tree per component.
+	uf := graph.NewUnionFind(g.N)
+	for _, id := range tree {
+		e := g.Edges[id]
+		if res.Comp[e.U] != res.Comp[e.V] {
+			t.Fatalf("tree edge %d crosses components", id)
+		}
+		if !uf.Union(e.U, e.V) {
+			t.Fatalf("tree edge %d closes a cycle", id)
+		}
+	}
+	if uf.Count() != res.NumComp {
+		t.Fatalf("forest has %d trees, want %d", uf.Count(), res.NumComp)
+	}
+	// Tree depth from each center is within the component's strong radius:
+	// replay BFS over tree edges only.
+	adj := make([][]int32, g.N)
+	for _, id := range tree {
+		e := g.Edges[id]
+		adj[e.U] = append(adj[e.U], int32(e.V))
+		adj[e.V] = append(adj[e.V], int32(e.U))
+	}
+	depth := make([]int, g.N)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var frontier []int
+	for _, s := range res.Centers {
+		depth[s] = 0
+		frontier = append(frontier, int(s))
+	}
+	maxDepth := 0
+	for len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range adj[u] {
+				if depth[v] < 0 {
+					depth[v] = depth[u] + 1
+					if depth[v] > maxDepth {
+						maxDepth = depth[v]
+					}
+					next = append(next, int(v))
+				}
+			}
+		}
+		frontier = next
+	}
+	for v := 0; v < g.N; v++ {
+		if depth[v] < 0 {
+			t.Fatalf("vertex %d not reached by its component's BFS tree", v)
+		}
+	}
+	if maxDepth > 8 {
+		t.Fatalf("tree depth %d exceeds rho=8", maxDepth)
+	}
+}
+
+func TestBFSTreesSingletons(t *testing.T) {
+	// A graph with no edges: every vertex its own component, empty forest.
+	g := graph.FromEdges(5, nil)
+	rng := rand.New(rand.NewSource(2))
+	res := SplitGraph(g, 3, PracticalParams(), rng, nil)
+	if res.NumComp != 5 {
+		t.Fatalf("components = %d, want 5", res.NumComp)
+	}
+	if tree := BFSTrees(g, res); len(tree) != 0 {
+		t.Fatalf("edgeless graph produced %d tree edges", len(tree))
+	}
+}

@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestFromSpecValid(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+	}{
+		{"grid2d:4x5", 20},
+		{"grid3d:2x3x4", 24},
+		{"torus:3x3", 9},
+		{"path:7", 7},
+		{"cycle:8", 8},
+		{"gnp:50:0.1", 50},
+		{"regular:30:4", 30},
+		{"cliques:3:5", 15},
+	}
+	for _, c := range cases {
+		g, err := FromSpec(c.spec, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if g.N != c.n {
+			t.Fatalf("%s: n=%d, want %d", c.spec, g.N, c.n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+	}
+}
+
+func TestFromSpecInvalid(t *testing.T) {
+	for _, spec := range []string{
+		"", "grid2d", "grid2d:4", "grid2d:4x5x6", "grid2d:0x5", "grid2d:axb",
+		"gnp:50", "gnp:50:2", "gnp:x:0.1", "regular:30", "cliques:3",
+		"nosuch:1x1", "path:0", "path:-3",
+	} {
+		if _, err := FromSpec(spec, 1); err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestFromSpecSeedDeterminism(t *testing.T) {
+	a, _ := FromSpec("gnp:100:0.05", 7)
+	b, _ := FromSpec("gnp:100:0.05", 7)
+	if a.M() != b.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"parlap/internal/par"
+	"parlap/internal/wd"
+)
+
+// BFSResult holds hop distances from a source set. Dist[v] == -1 means
+// unreachable. Parent[v] is the predecessor vertex (-1 for sources and
+// unreachable vertices) and ParentEdge[v] the undirected edge id used to
+// reach v (-1 likewise), so BFS trees can be read off directly.
+type BFSResult struct {
+	Dist       []int32
+	Parent     []int32
+	ParentEdge []int32
+	Levels     int // number of frontier expansions performed
+	EdgesSeen  int // half-edges scanned (the paper's m' work term)
+}
+
+// BFS runs a level-synchronous breadth-first search from the given sources
+// out to at most maxDist hops (maxDist < 0 means unbounded). Each level's
+// frontier is expanded in parallel; ownership conflicts are resolved with
+// CAS so the result is a valid BFS tree (parents may differ run to run, but
+// distances are deterministic).
+//
+// The recorder, if non-nil, is charged work = half-edges scanned and
+// depth = levels (the O(r log n) PRAM depth of parallel ball growing, with
+// the log n broadcast factor omitted as a unit; see wd package docs).
+func (g *Graph) BFS(sources []int, maxDist int, rec *wd.Recorder) *BFSResult {
+	res := &BFSResult{
+		Dist:       make([]int32, g.N),
+		Parent:     make([]int32, g.N),
+		ParentEdge: make([]int32, g.N),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+		res.Parent[i] = -1
+		res.ParentEdge[i] = -1
+	}
+	frontier := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if res.Dist[s] < 0 {
+			res.Dist[s] = 0
+			frontier = append(frontier, s)
+		}
+	}
+	dist := int32(0)
+	var edgesSeen int64
+	for len(frontier) > 0 {
+		if maxDist >= 0 && int(dist) >= maxDist {
+			break
+		}
+		dist++
+		next := g.expandFrontier(frontier, dist, res, &edgesSeen)
+		res.Levels++
+		frontier = next
+	}
+	res.EdgesSeen = int(edgesSeen)
+	rec.Add(int64(res.EdgesSeen)+int64(len(sources)), int64(res.Levels))
+	return res
+}
+
+// expandFrontier visits all half-edges out of the frontier and claims
+// unvisited endpoints at distance dist. Claiming uses CompareAndSwap on the
+// distance encoded as int32 via an atomic view of the slice.
+func (g *Graph) expandFrontier(frontier []int, dist int32, res *BFSResult, edgesSeen *int64) []int {
+	nf := len(frontier)
+	if nf == 0 {
+		return nil
+	}
+	// Small frontiers: sequential expansion avoids goroutine overhead.
+	totalDeg := 0
+	for _, u := range frontier {
+		totalDeg += g.Off[u+1] - g.Off[u]
+	}
+	*edgesSeen += int64(totalDeg)
+	if totalDeg < par.SequentialThreshold {
+		var next []int
+		for _, u := range frontier {
+			for i := g.Off[u]; i < g.Off[u+1]; i++ {
+				v := g.Adj[i]
+				if res.Dist[v] < 0 {
+					res.Dist[v] = dist
+					res.Parent[v] = int32(u)
+					res.ParentEdge[v] = int32(g.EdgeID[i])
+					next = append(next, v)
+				}
+			}
+		}
+		return next
+	}
+	numChunks := par.Workers() * 4
+	if numChunks > nf {
+		numChunks = nf
+	}
+	chunk := (nf + numChunks - 1) / numChunks
+	numChunks = (nf + chunk - 1) / chunk
+	locals := make([][]int, numChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < numChunks; c++ {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > nf {
+			hi = nf
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			var local []int
+			for fi := lo; fi < hi; fi++ {
+				u := frontier[fi]
+				for i := g.Off[u]; i < g.Off[u+1]; i++ {
+					v := g.Adj[i]
+					if atomic.LoadInt32(&res.Dist[v]) < 0 &&
+						atomic.CompareAndSwapInt32(&res.Dist[v], -1, dist) {
+						res.Parent[v] = int32(u)
+						res.ParentEdge[v] = int32(g.EdgeID[i])
+						local = append(local, v)
+					}
+				}
+			}
+			locals[c] = local
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	var next []int
+	for _, l := range locals {
+		next = append(next, l...)
+	}
+	return next
+}
+
+// Eccentricity returns the maximum hop distance from s to any reachable
+// vertex.
+func (g *Graph) Eccentricity(s int) int {
+	res := g.BFS([]int{s}, -1, nil)
+	ecc := 0
+	for _, d := range res.Dist {
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc
+}

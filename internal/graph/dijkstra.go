@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// distHeap is a binary heap of (vertex, distance) keyed by distance.
+type distHeapItem struct {
+	v int
+	d float64
+}
+
+type distHeap []distHeapItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distHeapItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest path lengths (weights as lengths)
+// from s. Unreachable vertices get +Inf. Lazy-deletion binary heap,
+// O((n+m) log n).
+func (g *Graph) Dijkstra(s int) []float64 {
+	return g.DijkstraBounded(s, math.Inf(1))
+}
+
+// DijkstraBounded is Dijkstra truncated at distance bound: vertices farther
+// than bound keep +Inf. Used for per-edge stretch queries, where the search
+// can stop once the endpoint's distance is settled.
+func (g *Graph) DijkstraBounded(s int, bound float64) []float64 {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[s] = 0
+	h := &distHeap{{s, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distHeapItem)
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		if it.d > bound {
+			break
+		}
+		u := it.v
+		for i := g.Off[u]; i < g.Off[u+1]; i++ {
+			v := g.Adj[i]
+			nd := it.d + g.Wt[i]
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(h, distHeapItem{v, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraTo returns the shortest-path length from s to t (weights as
+// lengths), terminating early once t is settled. +Inf if unreachable.
+func (g *Graph) DijkstraTo(s, t int) float64 {
+	dist := make(map[int]float64, 64)
+	done := make(map[int]bool, 64)
+	dist[s] = 0
+	h := &distHeap{{s, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distHeapItem)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		if it.v == t {
+			return it.d
+		}
+		u := it.v
+		for i := g.Off[u]; i < g.Off[u+1]; i++ {
+			v := g.Adj[i]
+			if done[v] {
+				continue
+			}
+			nd := it.d + g.Wt[i]
+			if old, ok := dist[v]; !ok || nd < old {
+				dist[v] = nd
+				heap.Push(h, distHeapItem{v, nd})
+			}
+		}
+	}
+	return math.Inf(1)
+}

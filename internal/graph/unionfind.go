@@ -1,0 +1,75 @@
+package graph
+
+// UnionFind is a union-by-rank + path-halving disjoint-set forest. It is not
+// safe for concurrent mutation; parallel MST code partitions work so each
+// instance is touched by one goroutine at a time.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	count  int // number of disjoint sets
+}
+
+// NewUnionFind creates n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Find returns the representative of x's set, halving the path as it goes.
+func (uf *UnionFind) Find(x int) int {
+	p := int32(x)
+	for uf.parent[p] != p {
+		uf.parent[p] = uf.parent[uf.parent[p]]
+		p = uf.parent[p]
+	}
+	return int(p)
+}
+
+// Union merges the sets containing x and y; returns true if they were
+// distinct.
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = int32(rx)
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.count--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y int) bool { return uf.Find(x) == uf.Find(y) }
+
+// Count returns the current number of disjoint sets.
+func (uf *UnionFind) Count() int { return uf.count }
+
+// Labels returns a dense labeling comp[v] in [0, k) of the current sets,
+// where k is the number of sets.
+func (uf *UnionFind) Labels() (comp []int, k int) {
+	n := len(uf.parent)
+	comp = make([]int, n)
+	remap := make(map[int]int, uf.count)
+	for v := 0; v < n; v++ {
+		r := uf.Find(v)
+		id, ok := remap[r]
+		if !ok {
+			id = len(remap)
+			remap[r] = id
+		}
+		comp[v] = id
+	}
+	return comp, len(remap)
+}

@@ -1,0 +1,123 @@
+package graphio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"parlap/internal/gen"
+	"parlap/internal/matrix"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := gen.WithUniformWeights(gen.Grid2D(5, 7), 0.5, 3, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != g.N || g2.M() != g.M() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d", g2.N, g2.M(), g.N, g.M())
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != g2.Edges[i] {
+			t.Fatalf("edge %d mismatch: %+v vs %+v", i, g.Edges[i], g2.Edges[i])
+		}
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := `# a comment
+% another
+0 1 2.5
+
+1 2
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d", g.N, g.M())
+	}
+	if g.Edges[0].W != 2.5 || g.Edges[1].W != 1 {
+		t.Fatalf("weights wrong: %+v", g.Edges)
+	}
+}
+
+func TestReadEdgeListHeader(t *testing.T) {
+	in := "10 1\n0 1 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 10 {
+		t.Fatalf("header n ignored: %d", g.N)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "0 1 x\n", "-1 2\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	g := gen.GNP(30, 0.2, 2)
+	a := matrix.LaplacianOf(g)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.N != a.N || a2.NNZ() != a.NNZ() {
+		t.Fatalf("size mismatch: n %d vs %d, nnz %d vs %d", a2.N, a.N, a2.NNZ(), a.NNZ())
+	}
+	// Compare by applying to a probe vector.
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y1, y2 := a.Apply(x), a2.Apply(x)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatalf("apply mismatch at %d: %v vs %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestMatrixMarketRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"not a banner\n1 1 0\n",
+		"%%MatrixMarket matrix array real general\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n5 5 1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMatrixMarketGeneralNonSymmetric(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 2\n1 2 -1\n2 2 2\n"
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// General mode must not mirror entries.
+	if a.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", a.NNZ())
+	}
+}

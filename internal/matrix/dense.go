@@ -1,0 +1,177 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+
+	"parlap/internal/par"
+)
+
+// DenseFactor is an LDLᵀ factorization of a symmetric positive
+// (semi)definite matrix, used as the bottom-level direct solver of the
+// preconditioner chain (Fact 6.4). For a connected Laplacian the caller
+// grounds one vertex (drops its row and column) to obtain a positive
+// definite system; NewLaplacianFactor handles that bookkeeping.
+type DenseFactor struct {
+	n int
+	l []float64 // row-major unit lower triangle (diag implicit 1)
+	d []float64 // diagonal of D
+}
+
+// NewDenseFactor factors the dense symmetric matrix a (row-major n×n) as
+// L·D·Lᵀ without pivoting. It returns an error when a zero (or negative
+// beyond roundoff) pivot is hit, which for our use signals a singular
+// grounded Laplacian.
+func NewDenseFactor(n int, a []float64) (*DenseFactor, error) {
+	if len(a) != n*n {
+		return nil, fmt.Errorf("matrix: dense factor needs %d entries, got %d", n*n, len(a))
+	}
+	l := make([]float64, n*n)
+	copy(l, a)
+	d := make([]float64, n)
+	for j := 0; j < n; j++ {
+		// d[j] = a[j][j] - Σ_{k<j} l[j][k]^2 d[k]
+		s := l[j*n+j]
+		for k := 0; k < j; k++ {
+			s -= l[j*n+k] * l[j*n+k] * d[k]
+		}
+		d[j] = s
+		if s <= 0 || math.IsNaN(s) {
+			if s > -1e-10*math.Abs(l[j*n+j])-1e-300 {
+				// Semi-definite pivot breakdown: treat as singular direction.
+				d[j] = math.Inf(1) // column contributes zero to the solve
+				for i := j + 1; i < n; i++ {
+					l[i*n+j] = 0
+				}
+				continue
+			}
+			return nil, fmt.Errorf("matrix: non-PSD pivot %g at column %d", s, j)
+		}
+		// Column update, parallel over rows below j.
+		par.ForChunked(n-j-1, func(lo, hi int) {
+			for off := lo; off < hi; off++ {
+				i := j + 1 + off
+				s := l[i*n+j]
+				for k := 0; k < j; k++ {
+					s -= l[i*n+k] * l[j*n+k] * d[k]
+				}
+				l[i*n+j] = s / d[j]
+			}
+		})
+	}
+	return &DenseFactor{n: n, l: l, d: d}, nil
+}
+
+// Solve solves A x = b given the factorization, overwriting nothing;
+// it returns a fresh solution vector.
+func (f *DenseFactor) Solve(b []float64) []float64 {
+	n := f.n
+	x := make([]float64, n)
+	copy(x, b)
+	// Forward solve L y = b.
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= f.l[i*n+k] * x[k]
+		}
+		x[i] = s
+	}
+	// Diagonal solve D z = y.
+	for i := 0; i < n; i++ {
+		if math.IsInf(f.d[i], 1) {
+			x[i] = 0
+		} else {
+			x[i] /= f.d[i]
+		}
+	}
+	// Backward solve Lᵀ x = z.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.l[k*n+i] * x[k]
+		}
+		x[i] = s
+	}
+	return x
+}
+
+// LaplacianFactor is a dense pseudo-inverse applier for a Laplacian: it
+// grounds the last vertex of each connected component and factors the
+// remaining principal submatrix, then solves and re-centers per component.
+type LaplacianFactor struct {
+	n        int
+	factor   *DenseFactor
+	keep     []int // original indices kept in the grounded system
+	pos      []int // original index -> grounded position (-1 if grounded out)
+	comp     []int
+	numComp  int
+	grounded []int // one grounded vertex per component
+}
+
+// NewLaplacianFactor densifies the Laplacian a and prepares a direct
+// pseudo-inverse solver. comp must label a's connected components (as from
+// graph.ConnectedComponents on the underlying graph).
+func NewLaplacianFactor(a *Sparse, comp []int, numComp int) (*LaplacianFactor, error) {
+	n := a.N
+	grounded := make([]int, numComp)
+	for c := range grounded {
+		grounded[c] = -1
+	}
+	// Ground the highest-indexed vertex in each component.
+	for v := n - 1; v >= 0; v-- {
+		c := comp[v]
+		if grounded[c] < 0 {
+			grounded[c] = v
+		}
+	}
+	pos := make([]int, n)
+	var keep []int
+	for v := 0; v < n; v++ {
+		if grounded[comp[v]] == v {
+			pos[v] = -1
+			continue
+		}
+		pos[v] = len(keep)
+		keep = append(keep, v)
+	}
+	k := len(keep)
+	dense := make([]float64, k*k)
+	for _, v := range keep {
+		r := pos[v]
+		for i := a.Off[v]; i < a.Off[v+1]; i++ {
+			cIdx := a.Col[i]
+			if pos[cIdx] >= 0 {
+				dense[r*k+pos[cIdx]] = a.Val[i]
+			}
+		}
+	}
+	f, err := NewDenseFactor(k, dense)
+	if err != nil {
+		return nil, err
+	}
+	return &LaplacianFactor{
+		n: n, factor: f, keep: keep, pos: pos,
+		comp: comp, numComp: numComp, grounded: grounded,
+	}, nil
+}
+
+// Solve returns x with L x = b restricted to range(L): the right-hand side
+// is first projected per component (mean removed), the grounded system is
+// solved, and the result is re-centered so each component of x sums to zero
+// (the canonical pseudo-inverse representative).
+func (lf *LaplacianFactor) Solve(b []float64) []float64 {
+	rb := CopyVec(b)
+	ProjectOutConstantMasked(rb, lf.comp, lf.numComp)
+	gb := make([]float64, len(lf.keep))
+	for i, v := range lf.keep {
+		gb[i] = rb[v]
+	}
+	gx := lf.factor.Solve(gb)
+	x := make([]float64, lf.n)
+	for i, v := range lf.keep {
+		x[v] = gx[i]
+	}
+	// Grounded vertices already hold 0; re-center per component.
+	ProjectOutConstantMasked(x, lf.comp, lf.numComp)
+	return x
+}

@@ -1,0 +1,184 @@
+// Package matrix provides the linear-algebra substrate for the solver:
+// sparse symmetric matrices in CSR form, graph-Laplacian conversions, the
+// Gremban reduction from general SDD systems to Laplacians, parallel vector
+// kernels, and the dense LDLᵀ factorization used at the bottom of the
+// preconditioner chain (Fact 6.4 of the paper).
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"parlap/internal/graph"
+	"parlap/internal/par"
+)
+
+// Sparse is a square sparse matrix in CSR form. Symmetric matrices store
+// both triangles so MulVec needs no transpose pass.
+type Sparse struct {
+	N    int
+	Off  []int     // length N+1
+	Col  []int     // length nnz
+	Val  []float64 // length nnz
+	Diag []float64 // cached diagonal, length N
+}
+
+// NNZ returns the number of stored entries.
+func (a *Sparse) NNZ() int { return len(a.Col) }
+
+// entry is a builder triplet.
+type entry struct {
+	r, c int
+	v    float64
+}
+
+// NewSparseFromTriplets builds a CSR matrix from (row, col, val) triplets,
+// summing duplicates. Triplets are provided via parallel slices.
+func NewSparseFromTriplets(n int, rows, cols []int, vals []float64) (*Sparse, error) {
+	if len(rows) != len(cols) || len(rows) != len(vals) {
+		return nil, fmt.Errorf("matrix: triplet slices have mismatched lengths")
+	}
+	ents := make([]entry, len(rows))
+	for i := range rows {
+		if rows[i] < 0 || rows[i] >= n || cols[i] < 0 || cols[i] >= n {
+			return nil, fmt.Errorf("matrix: triplet %d out of range", i)
+		}
+		ents[i] = entry{rows[i], cols[i], vals[i]}
+	}
+	sort.Slice(ents, func(a, b int) bool {
+		if ents[a].r != ents[b].r {
+			return ents[a].r < ents[b].r
+		}
+		return ents[a].c < ents[b].c
+	})
+	// Merge duplicates.
+	merged := ents[:0]
+	for _, e := range ents {
+		if len(merged) > 0 {
+			last := &merged[len(merged)-1]
+			if last.r == e.r && last.c == e.c {
+				last.v += e.v
+				continue
+			}
+		}
+		merged = append(merged, e)
+	}
+	a := &Sparse{N: n}
+	a.Off = make([]int, n+1)
+	for _, e := range merged {
+		a.Off[e.r+1]++
+	}
+	for i := 0; i < n; i++ {
+		a.Off[i+1] += a.Off[i]
+	}
+	a.Col = make([]int, len(merged))
+	a.Val = make([]float64, len(merged))
+	for i, e := range merged {
+		a.Col[i] = e.c
+		a.Val[i] = e.v
+	}
+	a.Diag = make([]float64, n)
+	for r := 0; r < n; r++ {
+		for i := a.Off[r]; i < a.Off[r+1]; i++ {
+			if a.Col[i] == r {
+				a.Diag[r] = a.Val[i]
+			}
+		}
+	}
+	return a, nil
+}
+
+// LaplacianOf builds the graph Laplacian L(g): L[i][i] = weighted degree,
+// L[i][j] = -w(i,j) summed over parallel edges. Self-loops are ignored (they
+// cancel in a Laplacian).
+func LaplacianOf(g *graph.Graph) *Sparse {
+	n := g.N
+	var rows, cols []int
+	var vals []float64
+	for _, e := range g.Edges {
+		if e.U == e.V || e.W == 0 {
+			continue
+		}
+		rows = append(rows, e.U, e.V, e.U, e.V)
+		cols = append(cols, e.V, e.U, e.U, e.V)
+		vals = append(vals, -e.W, -e.W, e.W, e.W)
+	}
+	a, err := NewSparseFromTriplets(n, rows, cols, vals)
+	if err != nil {
+		panic("matrix: internal Laplacian build error: " + err.Error())
+	}
+	return a
+}
+
+// GraphOf recovers the weighted graph from a Laplacian-structured matrix
+// (strictly negative off-diagonals become edges). It inverts LaplacianOf up
+// to parallel-edge merging.
+func GraphOf(a *Sparse) *graph.Graph {
+	var edges []graph.Edge
+	for r := 0; r < a.N; r++ {
+		for i := a.Off[r]; i < a.Off[r+1]; i++ {
+			c := a.Col[i]
+			if c > r && a.Val[i] < 0 {
+				edges = append(edges, graph.Edge{U: r, V: c, W: -a.Val[i]})
+			}
+		}
+	}
+	return graph.FromEdges(a.N, edges)
+}
+
+// MulVec computes y = A·x in parallel over rows.
+func (a *Sparse) MulVec(x, y []float64) {
+	par.ForChunked(a.N, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			s := 0.0
+			for i := a.Off[r]; i < a.Off[r+1]; i++ {
+				s += a.Val[i] * x[a.Col[i]]
+			}
+			y[r] = s
+		}
+	})
+}
+
+// Apply allocates and returns A·x.
+func (a *Sparse) Apply(x []float64) []float64 {
+	y := make([]float64, a.N)
+	a.MulVec(x, y)
+	return y
+}
+
+// IsSDD reports whether the matrix is symmetric diagonally dominant:
+// symmetric with A[i][i] >= Σ_{j≠i} |A[i][j]| (up to tol relative slack).
+func (a *Sparse) IsSDD(tol float64) bool {
+	// Symmetry check via entry lookup.
+	get := func(r, c int) float64 {
+		for i := a.Off[r]; i < a.Off[r+1]; i++ {
+			if a.Col[i] == c {
+				return a.Val[i]
+			}
+		}
+		return 0
+	}
+	for r := 0; r < a.N; r++ {
+		offSum := 0.0
+		for i := a.Off[r]; i < a.Off[r+1]; i++ {
+			c := a.Col[i]
+			if c == r {
+				continue
+			}
+			if math.Abs(a.Val[i]-get(c, r)) > tol*(1+math.Abs(a.Val[i])) {
+				return false
+			}
+			offSum += math.Abs(a.Val[i])
+		}
+		if a.Diag[r] < offSum-tol*(1+offSum) {
+			return false
+		}
+	}
+	return true
+}
+
+// QuadForm returns xᵀAx.
+func (a *Sparse) QuadForm(x []float64) float64 {
+	return Dot(x, a.Apply(x))
+}

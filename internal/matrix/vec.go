@@ -1,0 +1,110 @@
+package matrix
+
+import (
+	"math"
+
+	"parlap/internal/par"
+)
+
+// Dot returns the inner product of x and y, computed with a deterministic
+// chunked parallel reduction.
+func Dot(x, y []float64) float64 {
+	return par.SumFloat64(len(x), func(i int) float64 { return x[i] * y[i] })
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// AxpyInto computes dst = a*x + y elementwise (dst may alias x or y).
+func AxpyInto(dst []float64, a float64, x, y []float64) {
+	par.ForChunked(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = a*x[i] + y[i]
+		}
+	})
+}
+
+// ScaleInto computes dst = a*x.
+func ScaleInto(dst []float64, a float64, x []float64) {
+	par.ForChunked(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = a * x[i]
+		}
+	})
+}
+
+// SubInto computes dst = x - y.
+func SubInto(dst, x, y []float64) {
+	par.ForChunked(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = x[i] - y[i]
+		}
+	})
+}
+
+// AddInto computes dst = x + y.
+func AddInto(dst, x, y []float64) {
+	par.ForChunked(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = x[i] + y[i]
+		}
+	})
+}
+
+// CopyVec returns a copy of x.
+func CopyVec(x []float64) []float64 {
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+// Mean returns the arithmetic mean of x (0 for empty x).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return par.SumFloat64(len(x), func(i int) float64 { return x[i] }) / float64(len(x))
+}
+
+// ProjectOutConstant subtracts the mean from x in place, projecting onto the
+// space orthogonal to the all-ones vector — the range of a connected
+// Laplacian. Solver iterations call this to keep iterates well-posed.
+func ProjectOutConstant(x []float64) {
+	mu := Mean(x)
+	par.ForChunked(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] -= mu
+		}
+	})
+}
+
+// ProjectOutConstantMasked subtracts the mean computed over each component
+// of a partition: comp[v] gives the component of v and counts the component
+// sizes. Used when the Laplacian's graph is disconnected (null space is
+// per-component constants).
+func ProjectOutConstantMasked(x []float64, comp []int, numComp int) {
+	sum := make([]float64, numComp)
+	cnt := make([]float64, numComp)
+	for i, c := range comp {
+		sum[c] += x[i]
+		cnt[c]++
+	}
+	for c := range sum {
+		if cnt[c] > 0 {
+			sum[c] /= cnt[c]
+		}
+	}
+	for i, c := range comp {
+		x[i] -= sum[c]
+	}
+}
+
+// ANorm returns ‖x‖_A = sqrt(xᵀAx), clamping tiny negative values caused by
+// roundoff on semidefinite A.
+func ANorm(a *Sparse, x []float64) float64 {
+	q := a.QuadForm(x)
+	if q < 0 {
+		q = 0
+	}
+	return math.Sqrt(q)
+}

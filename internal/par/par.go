@@ -1,0 +1,339 @@
+// Package par provides the parallel primitives used throughout parlap:
+// parallel for-loops, reductions, prefix sums and chunked map operations.
+//
+// All primitives are deterministic with respect to their results (reductions
+// use a fixed tree shape) and degrade gracefully to sequential execution for
+// small inputs, where goroutine overhead would dominate. The number of
+// workers defaults to runtime.GOMAXPROCS(0).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SequentialThreshold is the input size below which the primitives run
+// sequentially. Chosen so that goroutine spawn cost (~1µs) stays well under
+// the per-element work it amortizes.
+const SequentialThreshold = 2048
+
+// Workers returns the number of workers parallel primitives will use.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(i) for every i in [0, n) using up to Workers() goroutines.
+// body must be safe to call concurrently for distinct i.
+func For(n int, body func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked splits [0, n) into contiguous chunks and runs body(lo, hi) on
+// each chunk in parallel. It is the preferred form when the body has
+// per-chunk setup cost (e.g. a local buffer).
+func ForChunked(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Workers()
+	if n < SequentialThreshold || p == 1 {
+		body(0, n)
+		return
+	}
+	// Use more chunks than workers for load balance on skewed bodies.
+	chunks := p * 4
+	if chunks > n {
+		chunks = n
+	}
+	chunkSize := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions concurrently and waits for all of them.
+func Do(fns ...func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// ReduceFloat64 computes the reduction of f(i) over [0, n) with the
+// associative combiner op and identity element id. The combining tree shape
+// is fixed (per-chunk sequential folds combined in chunk order), so results
+// are deterministic for a fixed n and GOMAXPROCS-independent when op is
+// exactly associative (e.g. min/max, integer add).
+func ReduceFloat64(n int, id float64, f func(i int) float64, op func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return id
+	}
+	p := Workers()
+	if n < SequentialThreshold || p == 1 {
+		acc := id
+		for i := 0; i < n; i++ {
+			acc = op(acc, f(i))
+		}
+		return acc
+	}
+	chunks := p * 4
+	if chunks > n {
+		chunks = n
+	}
+	chunkSize := (n + chunks - 1) / chunks
+	numChunks := (n + chunkSize - 1) / chunkSize
+	partial := make([]float64, numChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			acc := id
+			for i := lo; i < hi; i++ {
+				acc = op(acc, f(i))
+			}
+			partial[c] = acc
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	acc := id
+	for _, v := range partial {
+		acc = op(acc, v)
+	}
+	return acc
+}
+
+// SumFloat64 returns the sum of f(i) over [0, n).
+func SumFloat64(n int, f func(i int) float64) float64 {
+	return ReduceFloat64(n, 0, f, func(a, b float64) float64 { return a + b })
+}
+
+// ReduceInt computes the reduction of f(i) over [0, n) with combiner op.
+func ReduceInt(n int, id int, f func(i int) int, op func(a, b int) int) int {
+	if n <= 0 {
+		return id
+	}
+	p := Workers()
+	if n < SequentialThreshold || p == 1 {
+		acc := id
+		for i := 0; i < n; i++ {
+			acc = op(acc, f(i))
+		}
+		return acc
+	}
+	chunks := p * 4
+	if chunks > n {
+		chunks = n
+	}
+	chunkSize := (n + chunks - 1) / chunks
+	numChunks := (n + chunkSize - 1) / chunkSize
+	partial := make([]int, numChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			acc := id
+			for i := lo; i < hi; i++ {
+				acc = op(acc, f(i))
+			}
+			partial[c] = acc
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	acc := id
+	for _, v := range partial {
+		acc = op(acc, v)
+	}
+	return acc
+}
+
+// SumInt returns the sum of f(i) over [0, n).
+func SumInt(n int, f func(i int) int) int {
+	return ReduceInt(n, 0, f, func(a, b int) int { return a + b })
+}
+
+// MaxInt returns the maximum of f(i) over [0, n), or id if n <= 0.
+func MaxInt(n int, id int, f func(i int) int) int {
+	return ReduceInt(n, id, f, func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// PrefixSumInt computes the exclusive prefix sum of src into a new slice of
+// length len(src)+1: out[0]=0, out[i+1]=out[i]+src[i]. The final element is
+// the total. Runs in O(n) work and O(log n)-style two-pass depth.
+func PrefixSumInt(src []int) []int {
+	n := len(src)
+	out := make([]int, n+1)
+	if n == 0 {
+		return out
+	}
+	p := Workers()
+	if n < SequentialThreshold || p == 1 {
+		acc := 0
+		for i, v := range src {
+			out[i] = acc
+			acc += v
+		}
+		out[n] = acc
+		return out
+	}
+	chunks := p * 4
+	if chunks > n {
+		chunks = n
+	}
+	chunkSize := (n + chunks - 1) / chunks
+	numChunks := (n + chunkSize - 1) / chunkSize
+	sums := make([]int, numChunks)
+	// Pass 1: per-chunk totals.
+	var wg sync.WaitGroup
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += src[i]
+			}
+			sums[c] = s
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	// Scan chunk totals sequentially (numChunks is small).
+	acc := 0
+	for c := 0; c < numChunks; c++ {
+		s := sums[c]
+		sums[c] = acc
+		acc += s
+	}
+	out[n] = acc
+	// Pass 2: per-chunk local scans offset by the chunk's base.
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			a := sums[c]
+			for i := lo; i < hi; i++ {
+				out[i] = a
+				a += src[i]
+			}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// FilterIndex returns, in increasing order, all i in [0, n) with keep(i).
+// It uses a parallel count + prefix-sum + scatter, the standard PRAM pack.
+func FilterIndex(n int, keep func(i int) bool) []int {
+	if n <= 0 {
+		return nil
+	}
+	p := Workers()
+	if n < SequentialThreshold || p == 1 {
+		var out []int
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	chunks := p * 4
+	if chunks > n {
+		chunks = n
+	}
+	chunkSize := (n + chunks - 1) / chunks
+	numChunks := (n + chunkSize - 1) / chunkSize
+	counts := make([]int, numChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			cnt := 0
+			for i := lo; i < hi; i++ {
+				if keep(i) {
+					cnt++
+				}
+			}
+			counts[c] = cnt
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	offsets := make([]int, numChunks+1)
+	for c := 0; c < numChunks; c++ {
+		offsets[c+1] = offsets[c] + counts[c]
+	}
+	out := make([]int, offsets[numChunks])
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			at := offsets[c]
+			for i := lo; i < hi; i++ {
+				if keep(i) {
+					out[at] = i
+					at++
+				}
+			}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	return out
+}

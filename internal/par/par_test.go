@@ -1,0 +1,215 @@
+package par
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, SequentialThreshold - 1, SequentialThreshold, 100000} {
+		seen := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForChunkedPartition(t *testing.T) {
+	n := 50000
+	seen := make([]int32, n)
+	ForChunked(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c int32
+	Do(
+		func() { atomic.StoreInt32(&a, 1) },
+		func() { atomic.StoreInt32(&b, 2) },
+		func() { atomic.StoreInt32(&c, 3) },
+	)
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("Do did not run all functions: %d %d %d", a, b, c)
+	}
+}
+
+func TestDoSingle(t *testing.T) {
+	ran := false
+	Do(func() { ran = true })
+	if !ran {
+		t.Fatal("single Do did not run")
+	}
+}
+
+func TestSumInt(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 10000} {
+		got := SumInt(n, func(i int) int { return i })
+		want := n * (n - 1) / 2
+		if got != want {
+			t.Fatalf("SumInt(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSumFloat64MatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 100000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	got := SumFloat64(n, func(i int) float64 { return xs[i] })
+	seq := 0.0
+	for _, v := range xs {
+		seq += v
+	}
+	if diff := got - seq; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("parallel sum %v differs from sequential %v", got, seq)
+	}
+}
+
+func TestMaxInt(t *testing.T) {
+	xs := []int{3, 9, 2, 9, 1}
+	got := MaxInt(len(xs), -1, func(i int) int { return xs[i] })
+	if got != 9 {
+		t.Fatalf("MaxInt = %d, want 9", got)
+	}
+	if got := MaxInt(0, -5, nil); got != -5 {
+		t.Fatalf("MaxInt empty = %d, want -5", got)
+	}
+}
+
+func TestPrefixSumIntSmall(t *testing.T) {
+	src := []int{3, 1, 4, 1, 5}
+	out := PrefixSumInt(src)
+	want := []int{0, 3, 4, 8, 9, 14}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("prefix[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestPrefixSumIntLargeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 100000
+	src := make([]int, n)
+	for i := range src {
+		src[i] = rng.Intn(10)
+	}
+	out := PrefixSumInt(src)
+	acc := 0
+	for i := 0; i < n; i++ {
+		if out[i] != acc {
+			t.Fatalf("prefix[%d] = %d, want %d", i, out[i], acc)
+		}
+		acc += src[i]
+	}
+	if out[n] != acc {
+		t.Fatalf("total = %d, want %d", out[n], acc)
+	}
+}
+
+func TestPrefixSumProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		src := make([]int, len(raw))
+		for i, v := range raw {
+			src[i] = int(v)
+		}
+		out := PrefixSumInt(src)
+		acc := 0
+		for i := range src {
+			if out[i] != acc {
+				return false
+			}
+			acc += src[i]
+		}
+		return out[len(src)] == acc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterIndex(t *testing.T) {
+	got := FilterIndex(10, func(i int) bool { return i%3 == 0 })
+	want := []int{0, 3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("FilterIndex = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FilterIndex = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFilterIndexLargeSortedAndComplete(t *testing.T) {
+	n := 100000
+	got := FilterIndex(n, func(i int) bool { return i%7 == 0 })
+	want := 0
+	for i := 0; i < n; i += 7 {
+		if got[want] != i {
+			t.Fatalf("element %d = %d, want %d", want, got[want], i)
+		}
+		want++
+	}
+	if len(got) != want {
+		t.Fatalf("len = %d, want %d", len(got), want)
+	}
+}
+
+func TestFilterIndexEmpty(t *testing.T) {
+	if got := FilterIndex(0, nil); len(got) != 0 {
+		t.Fatalf("FilterIndex(0) = %v", got)
+	}
+	if got := FilterIndex(100000, func(int) bool { return false }); len(got) != 0 {
+		t.Fatalf("all-false filter returned %d elements", len(got))
+	}
+}
+
+func TestReduceIntDeterministic(t *testing.T) {
+	n := 500000
+	a := ReduceInt(n, 0, func(i int) int { return i % 17 }, func(a, b int) int { return a + b })
+	b := ReduceInt(n, 0, func(i int) int { return i % 17 }, func(a, b int) int { return a + b })
+	if a != b {
+		t.Fatalf("two identical reductions differ: %d vs %d", a, b)
+	}
+}
+
+func BenchmarkParallelFor(b *testing.B) {
+	n := 1 << 20
+	dst := make([]float64, n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		For(n, func(j int) { dst[j] = float64(j) * 1.5 })
+	}
+}
+
+func BenchmarkPrefixSum(b *testing.B) {
+	n := 1 << 20
+	src := make([]int, n)
+	for i := range src {
+		src[i] = i & 7
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = PrefixSumInt(src)
+	}
+}

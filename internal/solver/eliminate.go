@@ -1,0 +1,267 @@
+// Package solver implements the paper's Section 6: the parallel SDD solver
+// built from a preconditioner chain (Definition 6.3) whose levels are
+// produced by incremental sparsification (Lemma 6.1) over low-stretch
+// subgraphs (Theorem 5.9) and shrunk by parallel greedy elimination
+// (Lemma 6.5), solved by recursive preconditioned Chebyshev iteration with
+// a dense LDLᵀ factorization at the bottom (Fact 6.4).
+package solver
+
+import (
+	"math/rand"
+	"sort"
+
+	"parlap/internal/graph"
+	"parlap/internal/wd"
+)
+
+// elimKind distinguishes the three elimination operations.
+type elimKind uint8
+
+const (
+	elimDeg0 elimKind = iota // isolated vertex: x_v := 0
+	elimDeg1                 // leaf: x_v = x_a + b_v/w1
+	elimDeg2                 // series splice: x_v = (w1·x_a + w2·x_b + b_v)/(w1+w2)
+)
+
+// ElimOp is one recorded partial-Cholesky elimination. Ops within a round
+// touch pairwise non-adjacent vertices, so each round's back-substitutions
+// are independent (parallelizable).
+type ElimOp struct {
+	Kind   elimKind
+	V      int32 // eliminated vertex (original numbering of the input graph)
+	A, B   int32 // neighbors (deg1 uses A; deg2 uses A and B)
+	W1, W2 float64
+}
+
+// Elimination is the result of GreedyElimination: the reduced graph, the
+// vertex mapping, and the replayable elimination log.
+type Elimination struct {
+	OrigN    int
+	Ops      []ElimOp
+	RoundEnd []int // Ops prefix length after each round
+	Keep     []int // reduced index -> original vertex
+	Pos      []int // original vertex -> reduced index (-1 if eliminated)
+	Reduced  *graph.Graph
+	Rounds   int
+}
+
+// GreedyElimination performs the parallel partial Cholesky factorization of
+// Lemma 6.5 on a Laplacian graph (weights are conductances): repeatedly
+// eliminate all degree-≤1 vertices (rake) and a random independent set of
+// degree-2 vertices (compress, via the paper's 1/3-coin marking), recording
+// every operation for exact back-substitution. Parallel edges are merged and
+// self-loops dropped on entry.
+//
+// The recorder is charged work = adjacency touched and depth = 1 per round,
+// matching the O(n+m) work / O(log n) depth bound.
+func GreedyElimination(g *graph.Graph, rng *rand.Rand, rec *wd.Recorder) *Elimination {
+	n := g.N
+	// Adjacency as conductance maps with parallels merged.
+	adj := make([]map[int32]float64, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int32]float64)
+	}
+	for _, e := range g.Edges {
+		if e.U == e.V || e.W == 0 {
+			continue
+		}
+		adj[e.U][int32(e.V)] += e.W
+		adj[e.V][int32(e.U)] += e.W
+	}
+	el := &Elimination{OrigN: n, Pos: make([]int, n)}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := n
+	for {
+		// Candidates at round start.
+		var cand []int32
+		for v := 0; v < n; v++ {
+			if alive[v] && len(adj[v]) <= 2 {
+				cand = append(cand, int32(v))
+			}
+		}
+		if len(cand) == 0 {
+			break
+		}
+		// Coin flips for degree-2 vertices (the paper's independent-set
+		// marking); degree ≤ 1 vertices are always willing.
+		heads := make(map[int32]bool)
+		for _, v := range cand {
+			if len(adj[v]) == 2 {
+				heads[v] = rng.Intn(3) == 0
+			}
+		}
+		willing := func(v int32) bool {
+			if len(adj[v]) < 2 {
+				return true
+			}
+			if !heads[v] {
+				return false
+			}
+			for u := range adj[v] {
+				if du := len(adj[u]); du == 2 && heads[u] {
+					return false // neighbor flipped heads too: unmarked
+				}
+			}
+			return true
+		}
+		// Greedy pass enforcing strict independence (no two eliminated
+		// vertices adjacent), which keeps intra-round back-substitutions
+		// independent even across rake/compress interactions.
+		accepted := make(map[int32]bool)
+		var roundOps []ElimOp
+		touched := 0
+		for _, v := range cand {
+			if !willing(v) {
+				continue
+			}
+			conflict := false
+			for u := range adj[v] {
+				if accepted[u] {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			switch len(adj[v]) {
+			case 0:
+				roundOps = append(roundOps, ElimOp{Kind: elimDeg0, V: v})
+			case 1:
+				var a int32
+				var w float64
+				for u, wu := range adj[v] {
+					a, w = u, wu
+				}
+				roundOps = append(roundOps, ElimOp{Kind: elimDeg1, V: v, A: a, W1: w})
+			case 2:
+				var ns [2]int32
+				var ws [2]float64
+				i := 0
+				for u, wu := range adj[v] {
+					ns[i], ws[i] = u, wu
+					i++
+				}
+				// Canonical order for determinism.
+				if ns[0] > ns[1] {
+					ns[0], ns[1] = ns[1], ns[0]
+					ws[0], ws[1] = ws[1], ws[0]
+				}
+				roundOps = append(roundOps, ElimOp{Kind: elimDeg2, V: v, A: ns[0], B: ns[1], W1: ws[0], W2: ws[1]})
+			}
+			accepted[v] = true
+			touched += len(adj[v]) + 1
+		}
+		if len(roundOps) == 0 {
+			// All willing vertices conflicted — possible only when every
+			// candidate had an accepted neighbor, which cannot happen in a
+			// greedy pass (first willing vertex is always accepted); if no
+			// vertex was willing (all deg-2 coin flips failed), re-flip.
+			continue
+		}
+		// Apply the round: remove vertices, splice degree-2 edges.
+		for _, op := range roundOps {
+			v := op.V
+			switch op.Kind {
+			case elimDeg1:
+				delete(adj[op.A], v)
+			case elimDeg2:
+				delete(adj[op.A], v)
+				delete(adj[op.B], v)
+				w := op.W1 * op.W2 / (op.W1 + op.W2)
+				adj[op.A][op.B] += w
+				adj[op.B][op.A] += w
+			}
+			adj[v] = nil
+			alive[v] = false
+			aliveCount--
+		}
+		el.Ops = append(el.Ops, roundOps...)
+		el.RoundEnd = append(el.RoundEnd, len(el.Ops))
+		el.Rounds++
+		rec.Add(int64(touched+len(cand)), 1)
+		if aliveCount == 0 {
+			break
+		}
+	}
+	// Build the reduced graph.
+	for v := 0; v < n; v++ {
+		if alive[v] {
+			el.Pos[v] = len(el.Keep)
+			el.Keep = append(el.Keep, v)
+		} else {
+			el.Pos[v] = -1
+		}
+	}
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		if !alive[v] {
+			continue
+		}
+		for u, w := range adj[v] {
+			if int32(v) < u {
+				edges = append(edges, graph.Edge{U: el.Pos[v], V: el.Pos[int(u)], W: w})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	el.Reduced = graph.FromEdges(len(el.Keep), edges)
+	return el
+}
+
+// ForwardRHS pushes a right-hand side through the elimination: eliminated
+// vertices forward their b-mass to their neighbors. It returns the reduced
+// right-hand side and the per-op carried values needed by BackSolve.
+// The input b is not modified.
+func (el *Elimination) ForwardRHS(b []float64) (reduced, carry []float64) {
+	work := make([]float64, el.OrigN)
+	copy(work, b)
+	carry = make([]float64, len(el.Ops))
+	for i, op := range el.Ops {
+		bv := work[op.V]
+		carry[i] = bv
+		switch op.Kind {
+		case elimDeg1:
+			work[op.A] += bv
+		case elimDeg2:
+			s := op.W1 + op.W2
+			work[op.A] += bv * op.W1 / s
+			work[op.B] += bv * op.W2 / s
+		}
+	}
+	reduced = make([]float64, len(el.Keep))
+	for j, v := range el.Keep {
+		reduced[j] = work[v]
+	}
+	return reduced, carry
+}
+
+// BackSolve extends a solution of the reduced system to the full system by
+// replaying the elimination log in reverse. carry must come from the
+// ForwardRHS call for the same right-hand side.
+func (el *Elimination) BackSolve(xReduced, carry []float64) []float64 {
+	x := make([]float64, el.OrigN)
+	for j, v := range el.Keep {
+		x[v] = xReduced[j]
+	}
+	for i := len(el.Ops) - 1; i >= 0; i-- {
+		op := el.Ops[i]
+		switch op.Kind {
+		case elimDeg0:
+			x[op.V] = 0
+		case elimDeg1:
+			x[op.V] = x[op.A] + carry[i]/op.W1
+		case elimDeg2:
+			x[op.V] = (op.W1*x[op.A] + op.W2*x[op.B] + carry[i]) / (op.W1 + op.W2)
+		}
+	}
+	return x
+}

@@ -1,0 +1,164 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"parlap/internal/graph"
+	"parlap/internal/matrix"
+	"parlap/internal/wd"
+)
+
+// Solver is the public entry point: a Laplacian solver backed by the
+// paper's preconditioner chain (Theorem 1.1). Construct once per graph with
+// New, then Solve any number of right-hand sides.
+type Solver struct {
+	G       *graph.Graph
+	Lap     *matrix.Sparse
+	Chain   *Chain
+	Comp    []int
+	NumComp int
+
+	rec     *wd.Recorder
+	MaxIter int
+}
+
+// New builds a Solver for the Laplacian of g. The recorder is optional and
+// accumulates analytical work/depth across construction and solves.
+func New(g *graph.Graph, p ChainParams, rec *wd.Recorder) (*Solver, error) {
+	if g.N == 0 {
+		return nil, fmt.Errorf("solver: empty graph")
+	}
+	ch, err := BuildChain(g, p, rec)
+	if err != nil {
+		return nil, err
+	}
+	comp, k := g.ConnectedComponents()
+	s := &Solver{
+		G: g, Lap: matrix.LaplacianOf(g), Chain: ch,
+		Comp: comp, NumComp: k, rec: rec,
+		MaxIter: 10 * int(math.Sqrt(float64(g.N))+100),
+	}
+	return s, nil
+}
+
+// Solve returns x̃ with ‖x̃−L⁺b‖_L ≤ ~ε·‖L⁺b‖_L for the graph Laplacian L,
+// using flexible PCG with the chain preconditioner (the adaptive outer
+// wrapper around the paper's rPCh recursion; the inner recursion is exactly
+// Lemma 6.7's fixed-degree Chebyshev). The right-hand side is projected
+// onto range(L) per connected component first.
+func (s *Solver) Solve(b []float64, eps float64) ([]float64, SolveStats) {
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	pre := func(r []float64) []float64 {
+		return s.Chain.PrecondApply(r)
+	}
+	x, st := pcgFlexible(s.Lap, b, pre, s.Comp, s.NumComp, eps, s.MaxIter, s.rec)
+	return x, st
+}
+
+// SolveChebyshev is the paper-faithful solver: top-level preconditioned
+// Chebyshev (no adaptivity) run in rounds of ⌈√κ₁⌉ iterations with
+// iterative refinement between rounds until the residual target is met.
+func (s *Solver) SolveChebyshev(b []float64, eps float64) ([]float64, SolveStats) {
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	n := s.G.N
+	x := make([]float64, n)
+	r := matrix.CopyVec(b)
+	matrix.ProjectOutConstantMasked(r, s.Comp, s.NumComp)
+	bnorm := matrix.Norm2(r)
+	st := SolveStats{}
+	if bnorm == 0 {
+		st.Converged = true
+		return x, st
+	}
+	lo, hi := 0.25, 1.0
+	its := 16
+	if len(s.Chain.Levels) > 0 {
+		l0 := s.Chain.Levels[0]
+		lo, hi = l0.EigLo, l0.EigHi
+		// A full √κ sweep per refinement round (the work-balanced ChebIts
+		// is tuned for inner recursion, not the top level).
+		its = int(math.Ceil(math.Sqrt(hi / lo)))
+		if its < 16 {
+			its = 16
+		}
+	}
+	pre := func(z []float64) []float64 { return s.Chain.PrecondApply(z) }
+	ax := make([]float64, n)
+	maxRounds := 200
+	for round := 0; round < maxRounds; round++ {
+		dx := chebyshev(s.Lap, r, its, lo, hi, pre, s.Comp, s.NumComp, s.rec)
+		matrix.AddInto(x, x, dx)
+		s.Lap.MulVec(x, ax)
+		matrix.SubInto(r, b, ax)
+		matrix.ProjectOutConstantMasked(r, s.Comp, s.NumComp)
+		st.Iterations += its
+		st.Residual = matrix.Norm2(r) / bnorm
+		if st.Residual <= eps {
+			st.Converged = true
+			break
+		}
+		if math.IsNaN(st.Residual) || st.Residual > 1e6 {
+			break // diverged: caller should fall back to Solve
+		}
+	}
+	st.Work, st.Depth = s.rec.Work(), s.rec.Depth()
+	return x, st
+}
+
+// Residual returns ‖b − L x‖₂ / ‖b‖₂ with b projected per component.
+func (s *Solver) Residual(x, b []float64) float64 {
+	r := matrix.CopyVec(b)
+	matrix.ProjectOutConstantMasked(r, s.Comp, s.NumComp)
+	bn := matrix.Norm2(r)
+	ax := s.Lap.Apply(x)
+	matrix.SubInto(r, r, ax)
+	// L x is automatically in range(L); projection of r keeps comparisons fair.
+	matrix.ProjectOutConstantMasked(r, s.Comp, s.NumComp)
+	if bn == 0 {
+		return 0
+	}
+	return matrix.Norm2(r) / bn
+}
+
+// SDDSolver solves general symmetric diagonally dominant systems by the
+// Gremban double-cover reduction to a Laplacian (§2 of the paper).
+type SDDSolver struct {
+	A      *matrix.Sparse
+	gr     *matrix.GrembanReduction
+	lap    *Solver // solver over the double cover (or directly when A is a Laplacian)
+	direct bool    // A was already a Laplacian; no reduction employed
+}
+
+// NewSDD builds a solver for the SDD matrix a.
+func NewSDD(a *matrix.Sparse, p ChainParams, rec *wd.Recorder) (*SDDSolver, error) {
+	if matrix.IsLaplacian(a, 1e-9) {
+		ls, err := New(matrix.GraphOf(a), p, rec)
+		if err != nil {
+			return nil, err
+		}
+		return &SDDSolver{A: a, lap: ls, direct: true}, nil
+	}
+	gr, err := matrix.NewGrembanReduction(a, 0)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := New(gr.G, p, rec)
+	if err != nil {
+		return nil, err
+	}
+	return &SDDSolver{A: a, gr: gr, lap: ls}, nil
+}
+
+// Solve returns x̃ ≈ A⁺b.
+func (s *SDDSolver) Solve(b []float64, eps float64) ([]float64, SolveStats) {
+	if s.direct {
+		return s.lap.Solve(b, eps)
+	}
+	y, st := s.lap.Solve(s.gr.Lift(b), eps)
+	return s.gr.Project(y), st
+}

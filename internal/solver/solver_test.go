@@ -1,0 +1,544 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parlap/internal/gen"
+	"parlap/internal/graph"
+	"parlap/internal/matrix"
+	"parlap/internal/wd"
+)
+
+// randRHS returns a mean-zero right-hand side.
+func randRHS(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	matrix.ProjectOutConstant(b)
+	return b
+}
+
+// --- GreedyElimination ---
+
+func TestEliminatePathToNothing(t *testing.T) {
+	// A path is all degree ≤ 2: elimination should reduce it to nothing
+	// (or nearly), in O(log n) rounds.
+	g := gen.Path(256)
+	rng := rand.New(rand.NewSource(1))
+	el := GreedyElimination(g, rng, nil)
+	if el.Reduced.N > 2 {
+		t.Fatalf("path reduced to %d vertices", el.Reduced.N)
+	}
+	if el.Rounds > 60 {
+		t.Fatalf("path elimination took %d rounds", el.Rounds)
+	}
+}
+
+func TestEliminateLeavesHighDegreeCore(t *testing.T) {
+	// A 3-regular-ish core must survive: elimination removes only deg ≤ 2.
+	g := gen.Complete(6) // all degree 5
+	rng := rand.New(rand.NewSource(2))
+	el := GreedyElimination(g, rng, nil)
+	if el.Reduced.N != 6 {
+		t.Fatalf("K6 lost vertices: %d", el.Reduced.N)
+	}
+	if el.Reduced.M() != 15 {
+		t.Fatalf("K6 lost edges: %d", el.Reduced.M())
+	}
+}
+
+func TestEliminateTreePlusEdges(t *testing.T) {
+	// Lemma 6.5: a graph with n vertices and n−1+m edges reduces to at most
+	// ~2m−2 vertices... our greedy variant reaches the 2-core; verify the
+	// reduced graph has min degree ≥ 3 and size O(m).
+	rng := rand.New(rand.NewSource(3))
+	n := 500
+	var edges []graph.Edge
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: rng.Intn(i), V: i, W: 1 + rng.Float64()})
+	}
+	extra := 20
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, graph.Edge{U: u, V: v, W: 1})
+		}
+	}
+	g := graph.FromEdges(n, edges)
+	el := GreedyElimination(g, rng, nil)
+	for v := 0; v < el.Reduced.N; v++ {
+		// Degrees in the reduced multigraph (parallels already merged).
+		if el.Reduced.Degree(v) <= 2 {
+			t.Fatalf("reduced vertex %d has degree %d", v, el.Reduced.Degree(v))
+		}
+	}
+	if el.Reduced.N > 4*extra {
+		t.Fatalf("reduced size %d not O(extra=%d)", el.Reduced.N, extra)
+	}
+}
+
+func TestEliminationRoundsLogarithmic(t *testing.T) {
+	// E7's shape: rounds grow like log n on paths.
+	rng := rand.New(rand.NewSource(4))
+	r1 := GreedyElimination(gen.Path(1<<8), rng, nil).Rounds
+	r2 := GreedyElimination(gen.Path(1<<12), rng, nil).Rounds
+	if r2 > r1*4 {
+		t.Fatalf("rounds scaled badly: %d (n=2^8) vs %d (n=2^12)", r1, r2)
+	}
+}
+
+func TestEliminateBackSolveExact(t *testing.T) {
+	// Eliminating and back-solving with an exact reduced solve must solve
+	// the original system exactly.
+	g := gen.WithUniformWeights(gen.Grid2D(8, 8), 0.5, 2, 5)
+	rng := rand.New(rand.NewSource(6))
+	el := GreedyElimination(g, rng, nil)
+	lap := matrix.LaplacianOf(g)
+	b := randRHS(g.N, 7)
+	red, carry := el.ForwardRHS(b)
+	// Exact reduced solve.
+	comp, k := el.Reduced.ConnectedComponents()
+	lf, err := matrix.NewLaplacianFactor(matrix.LaplacianOf(el.Reduced), comp, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xr := lf.Solve(red)
+	x := el.BackSolve(xr, carry)
+	res := lap.Apply(x)
+	for i := range b {
+		if math.Abs(res[i]-b[i]) > 1e-7 {
+			t.Fatalf("residual %v at %d", res[i]-b[i], i)
+		}
+	}
+}
+
+func TestEliminateBackSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.WithUniformWeights(gen.GNP(80, 0.04, seed), 0.5, 4, seed+1)
+		el := GreedyElimination(g, rng, nil)
+		lap := matrix.LaplacianOf(g)
+		b := randRHS(g.N, seed+2)
+		// Project b per component of g (null space of L).
+		comp, k := g.ConnectedComponents()
+		matrix.ProjectOutConstantMasked(b, comp, k)
+		red, carry := el.ForwardRHS(b)
+		rcomp, rk := el.Reduced.ConnectedComponents()
+		lf, err := matrix.NewLaplacianFactor(matrix.LaplacianOf(el.Reduced), rcomp, rk)
+		if err != nil {
+			return false
+		}
+		x := el.BackSolve(lf.Solve(red), carry)
+		res := lap.Apply(x)
+		for i := range b {
+			if math.Abs(res[i]-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEliminationOpsIndependentWithinRounds(t *testing.T) {
+	g := gen.Grid2D(12, 12)
+	rng := rand.New(rand.NewSource(8))
+	el := GreedyElimination(g, rng, nil)
+	start := 0
+	for _, end := range el.RoundEnd {
+		touched := make(map[int32]bool)
+		for _, op := range el.Ops[start:end] {
+			if touched[op.V] {
+				t.Fatal("vertex eliminated twice in a round")
+			}
+			touched[op.V] = true
+		}
+		for _, op := range el.Ops[start:end] {
+			if op.Kind == elimDeg1 && touched[op.A] {
+				t.Fatal("deg1 neighbor also eliminated in same round")
+			}
+			if op.Kind == elimDeg2 && (touched[op.A] || touched[op.B]) {
+				t.Fatal("deg2 neighbor also eliminated in same round")
+			}
+		}
+		start = end
+	}
+}
+
+// --- IncrementalSparsify ---
+
+func TestSparsifyShrinksAndSpans(t *testing.T) {
+	g := gen.Torus2D(32, 32)
+	rng := rand.New(rand.NewSource(9))
+	res := IncrementalSparsify(g, DefaultSparsifyParams(), rng, nil)
+	if res.H.M() >= g.M() {
+		t.Fatalf("sparsifier did not shrink: %d >= %d", res.H.M(), g.M())
+	}
+	if !res.H.IsConnected() {
+		t.Fatal("H lost connectivity")
+	}
+}
+
+func TestSparsifySpectralSandwich(t *testing.T) {
+	// Empirical Lemma 6.1 check via generalized Rayleigh quotients on random
+	// vectors: 1 ≲ xᵀHx/xᵀGx ≲ O(κ) for x ⊥ 1. Random vectors cannot prove
+	// the eigenvalue bound but wild violations would show up immediately.
+	g := gen.Grid2D(24, 24)
+	rng := rand.New(rand.NewSource(10))
+	p := DefaultSparsifyParams()
+	res := IncrementalSparsify(g, p, rng, nil)
+	lg := matrix.LaplacianOf(g)
+	lh := matrix.LaplacianOf(res.H)
+	for trial := 0; trial < 30; trial++ {
+		x := randRHS(g.N, int64(100+trial))
+		qg, qh := lg.QuadForm(x), lh.QuadForm(x)
+		ratio := qh / qg
+		if ratio < 0.5 {
+			t.Fatalf("H much smaller than G: ratio %v (violates G ⪯ H)", ratio)
+		}
+		if ratio > 50*p.Kappa {
+			t.Fatalf("H much larger than κG: ratio %v vs κ=%v", ratio, p.Kappa)
+		}
+	}
+}
+
+func TestSparsifyKappaTradeoff(t *testing.T) {
+	// Larger κ ⇒ fewer sampled edges (Lemma 6.1's S·log n/κ term).
+	g := gen.Torus2D(40, 40)
+	count := func(kappa float64) int {
+		rng := rand.New(rand.NewSource(11))
+		p := DefaultSparsifyParams()
+		p.Kappa = kappa
+		return IncrementalSparsify(g, p, rng, nil).Sampled
+	}
+	lo, hi := count(8), count(256)
+	if hi >= lo {
+		t.Fatalf("κ=256 sampled %d ≥ κ=8's %d", hi, lo)
+	}
+}
+
+// --- Chain ---
+
+func TestBuildChainShape(t *testing.T) {
+	g := gen.Grid2D(40, 40)
+	ch, err := BuildChain(g, DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := ch.EdgeCounts()
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatalf("chain grew at level %d: %v", i, counts)
+		}
+	}
+	if ch.BottomG.N > DefaultChainParams().MaxBottomVertices {
+		t.Fatalf("bottom too large: %d", ch.BottomG.N)
+	}
+}
+
+func TestChainPrecondReducesError(t *testing.T) {
+	// One preconditioner application must reduce the A-norm error of the
+	// zero iterate substantially (it is an approximate inverse).
+	g := gen.Grid2D(24, 24)
+	ch, err := BuildChain(g, DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lap := matrix.LaplacianOf(g)
+	b := randRHS(g.N, 12)
+	z := ch.PrecondApply(b)
+	// Rayleigh check: z should positively correlate with the true solution
+	// direction: zᵀb > 0 strongly.
+	if matrix.Dot(z, b) <= 0 {
+		t.Fatal("preconditioner output not positively correlated with rhs")
+	}
+	// A z should not be wildly off b in scale.
+	az := lap.Apply(z)
+	num := matrix.Dot(az, b) / (matrix.Norm2(az) * matrix.Norm2(b))
+	if num < 0.1 {
+		t.Fatalf("preconditioned direction nearly orthogonal to b: cos=%v", num)
+	}
+}
+
+// --- Solver end to end ---
+
+func solveAndCheck(t *testing.T, g *graph.Graph, eps float64) SolveStats {
+	t.Helper()
+	s, err := New(g, DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(g.N, 13)
+	x, st := s.Solve(b, eps)
+	res := s.Residual(x, b)
+	if res > eps*10 {
+		t.Fatalf("residual %v after %d iterations (target %v)", res, st.Iterations, eps)
+	}
+	return st
+}
+
+func TestSolveGrid(t *testing.T) {
+	solveAndCheck(t, gen.Grid2D(32, 32), 1e-8)
+}
+
+func TestSolveWeightedGrid(t *testing.T) {
+	solveAndCheck(t, gen.WithUniformWeights(gen.Grid2D(24, 24), 0.01, 100, 14), 1e-8)
+}
+
+func TestSolveGNP(t *testing.T) {
+	solveAndCheck(t, gen.GNP(800, 0.01, 15), 1e-8)
+}
+
+func TestSolvePathOfCliques(t *testing.T) {
+	solveAndCheck(t, gen.PathOfCliques(8, 40), 1e-8)
+}
+
+func TestSolve3DGrid(t *testing.T) {
+	solveAndCheck(t, gen.Grid3D(10, 10, 10), 1e-6)
+}
+
+func TestSolveDisconnected(t *testing.T) {
+	var edges []graph.Edge
+	off := 0
+	for c := 0; c < 3; c++ {
+		for i := 0; i+1 < 50; i++ {
+			edges = append(edges, graph.Edge{U: off + i, V: off + i + 1, W: 1})
+		}
+		off += 50
+	}
+	g := graph.FromEdges(150, edges)
+	s, err := New(g, DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(g.N, 16)
+	comp, k := g.ConnectedComponents()
+	matrix.ProjectOutConstantMasked(b, comp, k)
+	x, _ := s.Solve(b, 1e-8)
+	if res := s.Residual(x, b); res > 1e-6 {
+		t.Fatalf("disconnected residual %v", res)
+	}
+}
+
+func TestSolveChebyshev(t *testing.T) {
+	g := gen.Grid2D(24, 24)
+	s, err := New(g, DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(g.N, 17)
+	x, st := s.SolveChebyshev(b, 1e-6)
+	if !st.Converged {
+		t.Fatalf("Chebyshev did not converge: residual %v", st.Residual)
+	}
+	if res := s.Residual(x, b); res > 1e-5 {
+		t.Fatalf("Chebyshev residual %v", res)
+	}
+}
+
+func TestSolveMatchesDirect(t *testing.T) {
+	// Compare against the dense pseudo-inverse on a small graph.
+	g := gen.Grid2D(8, 8)
+	s, err := New(g, DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, k := g.ConnectedComponents()
+	lf, err := matrix.NewLaplacianFactor(matrix.LaplacianOf(g), comp, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(g.N, 18)
+	want := lf.Solve(b)
+	got, _ := s.Solve(b, 1e-10)
+	matrix.ProjectOutConstant(got)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveEpsilonSweep(t *testing.T) {
+	// log(1/ε) scaling: tighter ε must not blow up iteration counts.
+	g := gen.Grid2D(32, 32)
+	s, err := New(g, DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(g.N, 19)
+	_, st1 := s.Solve(b, 1e-2)
+	_, st2 := s.Solve(b, 1e-10)
+	if st2.Iterations > 10*st1.Iterations+20 {
+		t.Fatalf("ε=1e-10 took %d iters vs %d for 1e-2: not log(1/ε)-like", st2.Iterations, st1.Iterations)
+	}
+}
+
+func TestBaselinesConverge(t *testing.T) {
+	g := gen.Grid2D(16, 16)
+	lap := matrix.LaplacianOf(g)
+	comp, k := g.ConnectedComponents()
+	b := randRHS(g.N, 20)
+	x, st := CG(lap, b, comp, k, 1e-8, 10000, nil)
+	if !st.Converged {
+		t.Fatalf("CG did not converge: %v", st.Residual)
+	}
+	ax := lap.Apply(x)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-5 {
+			t.Fatalf("CG residual at %d: %v", i, ax[i]-b[i])
+		}
+	}
+	_, st2 := JacobiPCG(lap, b, comp, k, 1e-8, 10000, nil)
+	if !st2.Converged {
+		t.Fatalf("Jacobi-PCG did not converge: %v", st2.Residual)
+	}
+}
+
+func TestChainBeatsCGIterationsIllConditioned(t *testing.T) {
+	// The headline practical claim: on an ill-conditioned weighted grid
+	// (exponentially spread weight classes — the regime where low-stretch
+	// structure matters), the chain-preconditioned solver needs far fewer
+	// iterations than plain CG.
+	g := gen.WithExponentialWeights(gen.Grid2D(40, 40), 8, 8, 21)
+	lap := matrix.LaplacianOf(g)
+	comp, k := g.ConnectedComponents()
+	b := randRHS(g.N, 22)
+	_, cgStats := CG(lap, b, comp, k, 1e-8, 20000, nil)
+	s, err := New(g, DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chStats := s.Solve(b, 1e-8)
+	if chStats.Iterations >= cgStats.Iterations {
+		t.Fatalf("chain (%d iters) did not beat CG (%d iters)", chStats.Iterations, cgStats.Iterations)
+	}
+}
+
+func TestSDDSolverLaplacianPassThrough(t *testing.T) {
+	g := gen.Grid2D(12, 12)
+	lap := matrix.LaplacianOf(g)
+	s, err := NewSDD(lap, DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.direct {
+		t.Fatal("Laplacian input should bypass Gremban")
+	}
+	b := randRHS(g.N, 23)
+	x, _ := s.Solve(b, 1e-8)
+	ax := lap.Apply(x)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-5 {
+			t.Fatalf("residual %v", ax[i]-b[i])
+		}
+	}
+}
+
+func TestSDDSolverGeneral(t *testing.T) {
+	// SDD matrix with positive off-diagonals and slack: route via Gremban.
+	n := 40
+	var rows, cols []int
+	var vals []float64
+	add := func(r, c int, v float64) {
+		rows = append(rows, r)
+		cols = append(cols, c)
+		vals = append(vals, v)
+	}
+	for i := 0; i < n; i++ {
+		diag := 0.1
+		if i > 0 {
+			sign := 1.0
+			if i%3 == 0 {
+				sign = -1
+			}
+			add(i, i-1, sign*1.0)
+			add(i-1, i, sign*1.0)
+			diag += 1
+		}
+		if i < n-1 {
+			diag += 1
+		}
+		add(i, i, diag)
+	}
+	a, err := matrix.NewSparseFromTriplets(n, rows, cols, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSDD(a, DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(n, 24)
+	x, _ := s.Solve(b, 1e-9)
+	ax := a.Apply(x)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-5 {
+			t.Fatalf("SDD residual %v at %d", ax[i]-b[i], i)
+		}
+	}
+}
+
+func TestSolverWorkDepthRecorded(t *testing.T) {
+	var rec wd.Recorder
+	g := gen.Grid2D(24, 24)
+	s, err := New(g, DefaultChainParams(), &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := rec.Work()
+	if build == 0 {
+		t.Fatal("construction recorded no work")
+	}
+	b := randRHS(g.N, 25)
+	_, _ = s.Solve(b, 1e-6)
+	if rec.Work() <= build {
+		t.Fatal("solve recorded no work")
+	}
+}
+
+func TestSolveZeroRHS(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	s, err := New(g, DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, st := s.Solve(make([]float64, g.N), 1e-8)
+	if !st.Converged {
+		t.Fatal("zero rhs should converge immediately")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("nonzero solution for zero rhs")
+		}
+	}
+}
+
+func TestSolveConstantRHSProjected(t *testing.T) {
+	// b = 1 is pure null space: solution is 0 after projection.
+	g := gen.Grid2D(8, 8)
+	s, err := New(g, DefaultChainParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = 3.5
+	}
+	x, st := s.Solve(b, 1e-8)
+	if !st.Converged {
+		t.Fatal("constant rhs should converge immediately after projection")
+	}
+	for _, v := range x {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("nonzero solution %v for null-space rhs", v)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+
+	"parlap/internal/graph"
+	"parlap/internal/lowstretch"
+	"parlap/internal/wd"
+)
+
+// SparsifyParams tunes IncrementalSparsify.
+type SparsifyParams struct {
+	// Kappa is the target relative condition number: the output satisfies
+	// (approximately, whp) G ⪯ H ⪯ O(κ)·G.
+	Kappa float64
+	// OversampleC multiplies the per-edge sampling probability
+	// p_e = min(1, C·str_e·log n/κ). The paper's cIS; default 1.
+	OversampleC float64
+	// Beta and Lambda select the low-stretch subgraph (Theorem 5.9 knobs).
+	Beta   float64
+	Lambda int
+	// PaperConstants switches the subgraph construction to the paper-exact
+	// parameter schedule.
+	PaperConstants bool
+}
+
+// DefaultSparsifyParams returns settings that shrink benchmark graphs by a
+// solid factor per level while keeping measured condition numbers near κ.
+// The relatively large κ keeps the recursion budget Π√κᵢ affordable by
+// making each level shrink hard (the §6.3 trade: fewer, coarser levels).
+func DefaultSparsifyParams() SparsifyParams {
+	return SparsifyParams{Kappa: 100, OversampleC: 0.15, Beta: 4, Lambda: 2}
+}
+
+// SparsifyResult couples the preconditioner H with its provenance.
+type SparsifyResult struct {
+	H        *graph.Graph // the preconditioner graph (conductances)
+	Subgraph []int        // edge ids of Ĝ within G
+	Sampled  int          // off-subgraph edges that survived sampling
+	StretchS float64      // average stretch of G w.r.t. the tree part of Ĝ
+}
+
+// IncrementalSparsify implements Lemma 6.1 with the KMP oversampling
+// scheme, using a low-stretch *subgraph* Ĝ in place of the spanning tree —
+// the substitution at the heart of the paper's Section 6 (Lemma 6.2):
+//
+//  1. build Ĝ = LSSubgraph(G) on the length graph (length = 1/conductance);
+//  2. compute every off-subgraph edge's stretch with respect to Ĝ's tree
+//     part (an upper bound on its stretch w.r.t. Ĝ, hence a valid
+//     oversampling weight);
+//  3. H := κ·Ĝ ∪ {off-subgraph e sampled with p_e = min(1, C·str_e·ln n/κ),
+//     reweighted to w_e/p_e}.
+//
+// Scaling Ĝ by κ bounds H ⪯ κ·G on the subgraph part while the sampled
+// part reconstructs G's remaining spectrum whp, giving G ⪯ H ⪯ O(κ)·G with
+// |E(H)| = |E(Ĝ)| + O(S·log n/κ) as in the lemma.
+func IncrementalSparsify(g *graph.Graph, p SparsifyParams, rng *rand.Rand, rec *wd.Recorder) *SparsifyResult {
+	n := g.N
+	if p.Kappa < 2 {
+		p.Kappa = 2
+	}
+	// Length view for the stretch machinery.
+	lengths := make([]graph.Edge, len(g.Edges))
+	for i, e := range g.Edges {
+		w := e.W
+		if w <= 0 {
+			w = 1e-300
+		}
+		lengths[i] = graph.Edge{U: e.U, V: e.V, W: 1 / w}
+	}
+	lg := graph.FromEdges(n, lengths)
+	lsp := lowstretch.ParamsForBeta(n, p.Beta, p.Lambda, p.PaperConstants)
+	sub, _ := lowstretch.LSSubgraph(lg, lsp, rng, rec)
+	inSub := make([]bool, len(g.Edges))
+	for _, id := range sub.EdgeIDs() {
+		inSub[id] = true
+	}
+	// Stretch w.r.t. the tree part (upper bounds stretch w.r.t. Ĝ).
+	ti := lowstretch.NewTreeIndex(lg, sub.Tree)
+	logn := math.Log(float64(n) + 2)
+	var edges []graph.Edge
+	res := &SparsifyResult{Subgraph: sub.EdgeIDs()}
+	totalStretch := 0.0
+	for id, e := range g.Edges {
+		if inSub[id] {
+			edges = append(edges, graph.Edge{U: e.U, V: e.V, W: e.W * p.Kappa})
+			continue
+		}
+		str := ti.Dist(e.U, e.V) / lg.Edges[id].W // d_T(u,v)/len(e)
+		if math.IsInf(str, 1) || math.IsNaN(str) {
+			str = 1 // disconnected tree part (cannot happen for spanning forests)
+		}
+		if str < 1 {
+			str = 1 // stretch of any edge w.r.t. a subgraph of G is ≥ 1... for trees
+		}
+		totalStretch += str
+		pe := p.OversampleC * str * logn / p.Kappa
+		if pe >= 1 {
+			edges = append(edges, e)
+			res.Sampled++
+			continue
+		}
+		if rng.Float64() < pe {
+			edges = append(edges, graph.Edge{U: e.U, V: e.V, W: e.W / pe})
+			res.Sampled++
+		}
+	}
+	if off := len(g.Edges) - len(res.Subgraph); off > 0 {
+		res.StretchS = totalStretch / float64(off)
+	}
+	res.H = graph.FromEdges(n, edges)
+	rec.Add(int64(len(g.Edges)), 1)
+	return res
+}

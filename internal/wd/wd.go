@@ -1,0 +1,83 @@
+// Package wd provides work/depth accounting in the PRAM sense used by the
+// paper: work is the total operation count, depth is the longest chain of
+// sequential dependencies. Algorithms in parlap optionally accept a
+// *Recorder; a nil Recorder is valid and records nothing, so instrumentation
+// costs a single nil check on hot paths.
+//
+// The accounting is analytical, not wall-clock: an algorithm that performs a
+// level-synchronous BFS with L levels scanning E edges reports work=E and
+// depth=L (times any per-level log factors it wishes to charge). This mirrors
+// how the paper states its bounds, and makes the measured quantities directly
+// comparable to the theorems regardless of GOMAXPROCS.
+package wd
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Recorder accumulates work and depth counters. The zero value is ready to
+// use. All methods are safe for concurrent use and are no-ops on a nil
+// receiver.
+type Recorder struct {
+	work  atomic.Int64
+	depth atomic.Int64
+}
+
+// AddWork charges w units of work.
+func (r *Recorder) AddWork(w int64) {
+	if r == nil {
+		return
+	}
+	r.work.Add(w)
+}
+
+// AddDepth charges d units of depth (a sequential chain of length d).
+func (r *Recorder) AddDepth(d int64) {
+	if r == nil {
+		return
+	}
+	r.depth.Add(d)
+}
+
+// Add charges both work and depth.
+func (r *Recorder) Add(work, depth int64) {
+	if r == nil {
+		return
+	}
+	r.work.Add(work)
+	r.depth.Add(depth)
+}
+
+// Work returns the accumulated work.
+func (r *Recorder) Work() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.work.Load()
+}
+
+// Depth returns the accumulated depth.
+func (r *Recorder) Depth() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.depth.Load()
+}
+
+// Reset zeroes both counters.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.work.Store(0)
+	r.depth.Store(0)
+}
+
+// String reports the counters, implementing fmt.Stringer.
+func (r *Recorder) String() string {
+	if r == nil {
+		return "wd(nil)"
+	}
+	return fmt.Sprintf("work=%d depth=%d", r.Work(), r.Depth())
+}

@@ -1,0 +1,63 @@
+package wd
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.AddWork(5)
+	r.AddDepth(3)
+	r.Add(1, 1)
+	r.Reset()
+	if r.Work() != 0 || r.Depth() != 0 {
+		t.Fatal("nil recorder should report zeros")
+	}
+	if r.String() != "wd(nil)" {
+		t.Fatalf("nil String = %q", r.String())
+	}
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	var r Recorder
+	r.AddWork(10)
+	r.AddDepth(2)
+	r.Add(5, 1)
+	if r.Work() != 15 {
+		t.Fatalf("work = %d, want 15", r.Work())
+	}
+	if r.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", r.Depth())
+	}
+	r.Reset()
+	if r.Work() != 0 || r.Depth() != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Add(1, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Work() != 100000 || r.Depth() != 100000 {
+		t.Fatalf("concurrent adds lost updates: %s", r.String())
+	}
+}
+
+func TestRecorderString(t *testing.T) {
+	var r Recorder
+	r.Add(7, 2)
+	if got := r.String(); got != "work=7 depth=2" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,116 @@
+package parlap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"parlap/internal/matrix"
+)
+
+func TestPublicAPISolve(t *testing.T) {
+	g := Grid2D(20, 20)
+	s, err := NewSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, stats := s.Solve(b, 1e-8)
+	if !stats.Converged {
+		t.Fatalf("not converged: %+v", stats)
+	}
+	if res := s.Residual(x, b); res > 1e-6 {
+		t.Fatalf("residual %v", res)
+	}
+}
+
+func TestPublicAPISDD(t *testing.T) {
+	g := GNP(200, 0.05, 2)
+	lap := Laplacian(g)
+	s, err := NewSDDSolver(lap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, g.N)
+	b[0], b[g.N-1] = 1, -1
+	x, _ := s.Solve(b, 1e-9)
+	ax := lap.Apply(x)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-6 {
+			t.Fatalf("residual %v at %d", ax[i]-b[i], i)
+		}
+	}
+}
+
+func TestPublicAPIPartition(t *testing.T) {
+	g := Grid2D(32, 32)
+	d := Partition(g, 16, 3)
+	if d.NumComp < 1 {
+		t.Fatal("no components")
+	}
+	seen := make([]bool, d.NumComp)
+	for _, c := range d.Comp {
+		seen[c] = true
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("component %d empty", c)
+		}
+	}
+}
+
+func TestPublicAPILowStretch(t *testing.T) {
+	g := Grid2D(24, 24)
+	tree := LowStretchTree(g, 4)
+	if len(tree) != g.N-1 {
+		t.Fatalf("tree has %d edges, want %d", len(tree), g.N-1)
+	}
+	avg := AverageStretch(g, tree)
+	if avg < 1 || avg > 100 {
+		t.Fatalf("implausible average stretch %v", avg)
+	}
+	sub := LowStretchSubgraph(g, 4, 5)
+	if len(sub) < g.N-1 {
+		t.Fatalf("subgraph too small: %d", len(sub))
+	}
+}
+
+func TestPublicAPINewSparse(t *testing.T) {
+	a, err := NewSparse(2, []int{0, 1, 0, 1}, []int{0, 1, 1, 0}, []float64{2, 2, -1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsSDD(1e-12) {
+		t.Fatal("expected SDD")
+	}
+}
+
+func TestPublicAPIRecorder(t *testing.T) {
+	g := Grid2D(16, 16)
+	var rec Recorder
+	s, err := NewSolverWith(g, DefaultOptions(), &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, g.N)
+	b[0], b[g.N-1] = 1, -1
+	matrix.ProjectOutConstant(b)
+	_, _ = s.Solve(b, 1e-6)
+	if rec.Work() == 0 || rec.Depth() == 0 {
+		t.Fatalf("recorder empty: %s", rec.String())
+	}
+}
+
+func TestPublicAPIGraphBuilders(t *testing.T) {
+	g := NewGraph(3, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}})
+	if g.N != 3 || g.M() != 2 {
+		t.Fatalf("NewGraph wrong: n=%d m=%d", g.N, g.M())
+	}
+	if g3 := Grid3D(2, 2, 2); g3.N != 8 {
+		t.Fatalf("Grid3D n=%d", g3.N)
+	}
+}
