@@ -42,6 +42,7 @@ var (
 	seed       = flag.Int64("seed", 1, "random seed")
 	stats      = flag.Bool("stats", false, "print chain shape and work/depth accounting")
 	chebyshev  = flag.Bool("chebyshev", false, "use the paper-faithful Chebyshev outer loop instead of PCG")
+	workers    = flag.Int("workers", 0, "worker goroutines for parallel kernels (0 = GOMAXPROCS, 1 = sequential)")
 )
 
 func main() {
@@ -70,7 +71,7 @@ func run() error {
 			return err
 		}
 		n = a.N
-		sddSolver, err = solver.NewSDD(a, solver.DefaultChainParams(), &rec)
+		sddSolver, err = solver.NewSDDWithOptions(a, solver.DefaultChainParams(), solver.Options{Workers: *workers}, &rec)
 		if err != nil {
 			return err
 		}
@@ -80,7 +81,7 @@ func run() error {
 			return err
 		}
 		n = g.N
-		lapSolver, err = solver.New(g, solver.DefaultChainParams(), &rec)
+		lapSolver, err = solver.NewWithOptions(g, solver.DefaultChainParams(), solver.Options{Workers: *workers}, &rec)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,3 @@
+module parlap
+
+go 1.22

@@ -203,6 +203,57 @@ func RandomRegular(n, d int, seed int64) *graph.Graph {
 	return graph.FromEdges(n, edges)
 }
 
+// PreferentialAttachment returns a Barabási–Albert graph: vertices arrive
+// one at a time and attach m unit-weight edges to existing vertices chosen
+// proportionally to degree (the repeated-endpoint trick: sampling a uniform
+// endpoint of the current edge multiset is degree-proportional sampling).
+// The result is connected with a heavy-tailed degree profile — the "hub"
+// regime where grid intuition fails and solver scaling benchmarks need a
+// separate data point.
+func PreferentialAttachment(n, m int, seed int64) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// endpoints flattens the running edge list; its length is 2·edges and a
+	// uniform sample from it is a degree-proportional vertex.
+	endpoints := make([]int, 0, 2*m*n)
+	var edges []graph.Edge
+	seen := make(map[[2]int]bool)
+	addEdge := func(u, v int) {
+		if u == v {
+			return
+		}
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			return
+		}
+		seen[[2]int{a, b}] = true
+		edges = append(edges, graph.Edge{U: u, V: v, W: 1})
+		endpoints = append(endpoints, u, v)
+	}
+	// Seed clique on the first min(m+1, n) vertices.
+	core := m + 1
+	if core > n {
+		core = n
+	}
+	for i := 0; i < core; i++ {
+		for j := i + 1; j < core; j++ {
+			addEdge(i, j)
+		}
+	}
+	for v := core; v < n; v++ {
+		for t := 0; t < m; t++ {
+			u := endpoints[rng.Intn(len(endpoints))]
+			addEdge(v, u)
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
 // Barbell returns two K_k cliques joined by a path of length pathLen.
 func Barbell(k, pathLen int) *graph.Graph {
 	var edges []graph.Edge
@@ -274,7 +325,7 @@ func PathOfCliques(k, count int) *graph.Graph {
 // tools:
 //
 //	grid2d:RxC    grid3d:XxYxZ    torus:RxC    path:N    cycle:N
-//	gnp:N:P       regular:N:D     cliques:K:COUNT
+//	gnp:N:P       regular:N:D     cliques:K:COUNT    pa:N:M
 //
 // Random families use the given seed.
 func FromSpec(spec string, seed int64) (*graph.Graph, error) {
@@ -364,6 +415,20 @@ func FromSpec(spec string, seed int64) (*graph.Graph, error) {
 			return nil, err
 		}
 		return RandomRegular(n, d, seed), nil
+	case "pa":
+		fields := strings.Split(arg, ":")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("gen: pa wants N:M, got %q", arg)
+		}
+		n, err := intArg(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		m, err := intArg(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		return PreferentialAttachment(n, m, seed), nil
 	case "cliques":
 		fields := strings.Split(arg, ":")
 		if len(fields) != 2 {

@@ -17,6 +17,7 @@ import (
 
 	"parlap/internal/decomp"
 	"parlap/internal/graph"
+	"parlap/internal/par"
 	"parlap/internal/wd"
 )
 
@@ -118,31 +119,30 @@ type akpwState struct {
 	class  []int // cur edge -> weight class (1-based; 0 = generic bucket)
 }
 
-// newAKPWState buckets g's edges by length class.
+// newAKPWState buckets g's edges by length class. The minimum-weight scan
+// and the per-edge class assignment are parallel (min is exactly
+// associative, so the fixed reduction tree gives the sequential answer).
 func newAKPWState(g *graph.Graph, z float64) (*akpwState, int) {
-	wmin := math.Inf(1)
-	for _, e := range g.Edges {
-		if e.W > 0 && e.W < wmin {
-			wmin = e.W
+	m := len(g.Edges)
+	wmin := par.MinFloat64(m, math.Inf(1), func(i int) float64 {
+		if w := g.Edges[i].W; w > 0 {
+			return w
 		}
-	}
+		return math.Inf(1)
+	})
 	if math.IsInf(wmin, 1) {
 		wmin = 1
 	}
 	st := &akpwState{
 		cur:    g,
-		origID: make([]int, len(g.Edges)),
-		class:  make([]int, len(g.Edges)),
+		origID: make([]int, m),
+		class:  make([]int, m),
 	}
-	maxClass := 1
-	for i, e := range g.Edges {
+	par.For(m, func(i int) {
 		st.origID[i] = i
-		c := classOf(e.W, wmin, z)
-		st.class[i] = c
-		if c > maxClass {
-			maxClass = c
-		}
-	}
+		st.class[i] = classOf(g.Edges[i].W, wmin, z)
+	})
+	maxClass := par.MaxInt(m, 1, func(i int) int { return st.class[i] })
 	return st, maxClass
 }
 
@@ -153,22 +153,16 @@ func newAKPWState(g *graph.Graph, z float64) (*akpwState, int) {
 func (st *akpwState) iterate(rho int, active func(curEdge int) bool, classLabel func(curEdge int) int, k int,
 	p decomp.Params, rng *rand.Rand, rec *wd.Recorder, tree *[]int) int {
 	cur := st.cur
-	// Active subgraph over the same vertex set.
-	var actEdges []graph.Edge
-	var actCur []int // active edge -> cur edge id
-	for id := range cur.Edges {
-		if active(id) {
-			actEdges = append(actEdges, cur.Edges[id])
-			actCur = append(actCur, id)
-		}
-	}
+	// Active subgraph over the same vertex set: a parallel pack of the
+	// participating edges (the per-iteration edge-bucketing hot loop).
+	actCur := par.FilterIndex(len(cur.Edges), active) // active edge -> cur edge id
+	actEdges := make([]graph.Edge, len(actCur))
+	par.For(len(actCur), func(i int) { actEdges[i] = cur.Edges[actCur[i]] })
 	actG := graph.FromEdges(cur.N, actEdges)
 	var class []int
 	if k > 1 {
 		class = make([]int, len(actEdges))
-		for i := range class {
-			class[i] = classLabel(actCur[i])
-		}
+		par.For(len(class), func(i int) { class[i] = classLabel(actCur[i]) })
 	}
 	pr, _ := decomp.Partition(actG, class, k, rho, p, rng, rec)
 	// BFS trees over the active subgraph, mapped to original ids.
@@ -176,18 +170,17 @@ func (st *akpwState) iterate(rho int, active func(curEdge int) bool, classLabel 
 		*tree = append(*tree, st.origID[actCur[aid]])
 	}
 	// Contract the whole current graph (active and future edges alike) by
-	// the partition's components.
+	// the partition's components. Label copies and the surviving-edge
+	// relabeling are embarrassingly parallel.
 	comp := make([]int, cur.N)
-	for v := range comp {
-		comp[v] = int(pr.Comp[v])
-	}
+	par.For(cur.N, func(v int) { comp[v] = int(pr.Comp[v]) })
 	contracted, keptCur := cur.Contract(comp, pr.NumComp)
 	newOrig := make([]int, len(keptCur))
 	newClass := make([]int, len(keptCur))
-	for i, cid := range keptCur {
-		newOrig[i] = st.origID[cid]
-		newClass[i] = st.class[cid]
-	}
+	par.For(len(keptCur), func(i int) {
+		newOrig[i] = st.origID[keptCur[i]]
+		newClass[i] = st.class[keptCur[i]]
+	})
 	st.cur = contracted
 	st.origID = newOrig
 	st.class = newClass

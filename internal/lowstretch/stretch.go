@@ -238,12 +238,9 @@ func subgraphOf(g *graph.Graph, sub []int) *graph.Graph {
 
 func summarize(str []float64) StretchStats {
 	st := StretchStats{Edges: len(str)}
-	for _, s := range str {
-		st.Total += s
-		if s > st.Max {
-			st.Max = s
-		}
-	}
+	st.Total = par.SumFloat64(len(str), func(i int) float64 { return str[i] })
+	st.Max = par.ReduceFloat64(len(str), 0, func(i int) float64 { return str[i] },
+		math.Max)
 	if len(str) > 0 {
 		st.Average = st.Total / float64(len(str))
 	}

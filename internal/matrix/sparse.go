@@ -8,7 +8,7 @@ package matrix
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync/atomic"
 
 	"parlap/internal/graph"
 	"parlap/internal/par"
@@ -33,78 +33,122 @@ type entry struct {
 	v    float64
 }
 
+// entryLess orders triplets by (row, col).
+func entryLess(a, b entry) bool {
+	if a.r != b.r {
+		return a.r < b.r
+	}
+	return a.c < b.c
+}
+
+// parSortEntries sorts ents by (row, col) with par's fixed-grain parallel
+// merge sort, whose leaf layout depends only on len(ents) — so the order
+// duplicate triplets are summed in is identical for every Workers setting.
+func parSortEntries(workers int, ents []entry) {
+	par.SortW(workers, ents, entryLess)
+}
+
 // NewSparseFromTriplets builds a CSR matrix from (row, col, val) triplets,
 // summing duplicates. Triplets are provided via parallel slices.
 func NewSparseFromTriplets(n int, rows, cols []int, vals []float64) (*Sparse, error) {
+	return NewSparseFromTripletsW(0, n, rows, cols, vals)
+}
+
+// NewSparseFromTripletsW is NewSparseFromTriplets with an explicit worker
+// count (0 = GOMAXPROCS, 1 = sequential). The build is fully parallel —
+// validation, sort, duplicate merge, row-offset scan and diagonal extraction
+// — and returns the identical matrix for every worker count.
+func NewSparseFromTripletsW(workers, n int, rows, cols []int, vals []float64) (*Sparse, error) {
 	if len(rows) != len(cols) || len(rows) != len(vals) {
 		return nil, fmt.Errorf("matrix: triplet slices have mismatched lengths")
 	}
-	ents := make([]entry, len(rows))
-	for i := range rows {
+	m := len(rows)
+	// Parallel range validation: min-reduce the first offending index.
+	bad := par.ReduceIntW(workers, m, m, func(i int) int {
 		if rows[i] < 0 || rows[i] >= n || cols[i] < 0 || cols[i] >= n {
-			return nil, fmt.Errorf("matrix: triplet %d out of range", i)
+			return i
 		}
-		ents[i] = entry{rows[i], cols[i], vals[i]}
-	}
-	sort.Slice(ents, func(a, b int) bool {
-		if ents[a].r != ents[b].r {
-			return ents[a].r < ents[b].r
+		return m
+	}, func(a, b int) int {
+		if a < b {
+			return a
 		}
-		return ents[a].c < ents[b].c
+		return b
 	})
-	// Merge duplicates.
-	merged := ents[:0]
-	for _, e := range ents {
-		if len(merged) > 0 {
-			last := &merged[len(merged)-1]
-			if last.r == e.r && last.c == e.c {
-				last.v += e.v
-				continue
-			}
-		}
-		merged = append(merged, e)
+	if bad < m {
+		return nil, fmt.Errorf("matrix: triplet %d out of range", bad)
 	}
+	ents := make([]entry, m)
+	par.ForW(workers, m, func(i int) {
+		ents[i] = entry{rows[i], cols[i], vals[i]}
+	})
+	parSortEntries(workers, ents)
+	// Pack run heads: one output entry per distinct (row, col).
+	heads := par.FilterIndexW(workers, m, func(i int) bool {
+		return i == 0 || ents[i].r != ents[i-1].r || ents[i].c != ents[i-1].c
+	})
+	nnz := len(heads)
 	a := &Sparse{N: n}
-	a.Off = make([]int, n+1)
-	for _, e := range merged {
-		a.Off[e.r+1]++
-	}
-	for i := 0; i < n; i++ {
-		a.Off[i+1] += a.Off[i]
-	}
-	a.Col = make([]int, len(merged))
-	a.Val = make([]float64, len(merged))
-	for i, e := range merged {
-		a.Col[i] = e.c
-		a.Val[i] = e.v
-	}
+	a.Col = make([]int, nnz)
+	a.Val = make([]float64, nnz)
+	rowCnt := make([]int64, n)
+	// Merge each duplicate run in sorted order (runs are disjoint) and
+	// histogram rows. Integer increments commute exactly, so the atomic
+	// counts are deterministic under any schedule.
+	par.ForW(workers, nnz, func(j int) {
+		lo := heads[j]
+		hi := m
+		if j+1 < nnz {
+			hi = heads[j+1]
+		}
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += ents[i].v
+		}
+		a.Col[j] = ents[lo].c
+		a.Val[j] = s
+		atomic.AddInt64(&rowCnt[ents[lo].r], 1)
+	})
+	counts := make([]int, n)
+	par.ForW(workers, n, func(r int) { counts[r] = int(rowCnt[r]) })
+	a.Off = par.ScanW(workers, counts)
 	a.Diag = make([]float64, n)
-	for r := 0; r < n; r++ {
+	par.ForW(workers, n, func(r int) {
 		for i := a.Off[r]; i < a.Off[r+1]; i++ {
 			if a.Col[i] == r {
 				a.Diag[r] = a.Val[i]
 			}
 		}
-	}
+	})
 	return a, nil
 }
 
 // LaplacianOf builds the graph Laplacian L(g): L[i][i] = weighted degree,
 // L[i][j] = -w(i,j) summed over parallel edges. Self-loops are ignored (they
 // cancel in a Laplacian).
-func LaplacianOf(g *graph.Graph) *Sparse {
+func LaplacianOf(g *graph.Graph) *Sparse { return LaplacianOfW(0, g) }
+
+// LaplacianOfW is LaplacianOf with an explicit worker count. Triplet
+// generation packs the contributing edges in parallel and scatters each
+// edge's four stencil entries at a fixed offset.
+func LaplacianOfW(workers int, g *graph.Graph) *Sparse {
 	n := g.N
-	var rows, cols []int
-	var vals []float64
-	for _, e := range g.Edges {
-		if e.U == e.V || e.W == 0 {
-			continue
-		}
-		rows = append(rows, e.U, e.V, e.U, e.V)
-		cols = append(cols, e.V, e.U, e.U, e.V)
-		vals = append(vals, -e.W, -e.W, e.W, e.W)
-	}
-	a, err := NewSparseFromTriplets(n, rows, cols, vals)
+	live := par.FilterIndexW(workers, len(g.Edges), func(i int) bool {
+		e := g.Edges[i]
+		return e.U != e.V && e.W != 0
+	})
+	rows := make([]int, 4*len(live))
+	cols := make([]int, 4*len(live))
+	vals := make([]float64, 4*len(live))
+	par.ForW(workers, len(live), func(j int) {
+		e := g.Edges[live[j]]
+		at := 4 * j
+		rows[at], cols[at], vals[at] = e.U, e.V, -e.W
+		rows[at+1], cols[at+1], vals[at+1] = e.V, e.U, -e.W
+		rows[at+2], cols[at+2], vals[at+2] = e.U, e.U, e.W
+		rows[at+3], cols[at+3], vals[at+3] = e.V, e.V, e.W
+	})
+	a, err := NewSparseFromTripletsW(workers, n, rows, cols, vals)
 	if err != nil {
 		panic("matrix: internal Laplacian build error: " + err.Error())
 	}
@@ -128,8 +172,11 @@ func GraphOf(a *Sparse) *graph.Graph {
 }
 
 // MulVec computes y = A·x in parallel over rows.
-func (a *Sparse) MulVec(x, y []float64) {
-	par.ForChunked(a.N, func(lo, hi int) {
+func (a *Sparse) MulVec(x, y []float64) { a.MulVecW(0, x, y) }
+
+// MulVecW is MulVec with an explicit worker count.
+func (a *Sparse) MulVecW(workers int, x, y []float64) {
+	par.ForChunkedW(workers, a.N, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			s := 0.0
 			for i := a.Off[r]; i < a.Off[r+1]; i++ {

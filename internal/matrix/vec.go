@@ -6,18 +6,32 @@ import (
 	"parlap/internal/par"
 )
 
+// Every vector kernel comes in a plain form (default worker count) and a
+// W-suffixed form taking the solver's Options.Workers knob (0 = GOMAXPROCS,
+// 1 = sequential). Reductions use par's fixed-grain deterministic trees, so
+// the W forms return bitwise-identical values for every worker count.
+
 // Dot returns the inner product of x and y, computed with a deterministic
 // chunked parallel reduction.
-func Dot(x, y []float64) float64 {
-	return par.SumFloat64(len(x), func(i int) float64 { return x[i] * y[i] })
+func Dot(x, y []float64) float64 { return DotW(0, x, y) }
+
+// DotW is Dot with an explicit worker count.
+func DotW(workers int, x, y []float64) float64 {
+	return par.SumFloat64W(workers, len(x), func(i int) float64 { return x[i] * y[i] })
 }
 
 // Norm2 returns the Euclidean norm of x.
 func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
 
+// Norm2W is Norm2 with an explicit worker count.
+func Norm2W(workers int, x []float64) float64 { return math.Sqrt(DotW(workers, x, x)) }
+
 // AxpyInto computes dst = a*x + y elementwise (dst may alias x or y).
-func AxpyInto(dst []float64, a float64, x, y []float64) {
-	par.ForChunked(len(dst), func(lo, hi int) {
+func AxpyInto(dst []float64, a float64, x, y []float64) { AxpyIntoW(0, dst, a, x, y) }
+
+// AxpyIntoW is AxpyInto with an explicit worker count.
+func AxpyIntoW(workers int, dst []float64, a float64, x, y []float64) {
+	par.ForChunkedW(workers, len(dst), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = a*x[i] + y[i]
 		}
@@ -25,8 +39,11 @@ func AxpyInto(dst []float64, a float64, x, y []float64) {
 }
 
 // ScaleInto computes dst = a*x.
-func ScaleInto(dst []float64, a float64, x []float64) {
-	par.ForChunked(len(dst), func(lo, hi int) {
+func ScaleInto(dst []float64, a float64, x []float64) { ScaleIntoW(0, dst, a, x) }
+
+// ScaleIntoW is ScaleInto with an explicit worker count.
+func ScaleIntoW(workers int, dst []float64, a float64, x []float64) {
+	par.ForChunkedW(workers, len(dst), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = a * x[i]
 		}
@@ -34,8 +51,11 @@ func ScaleInto(dst []float64, a float64, x []float64) {
 }
 
 // SubInto computes dst = x - y.
-func SubInto(dst, x, y []float64) {
-	par.ForChunked(len(dst), func(lo, hi int) {
+func SubInto(dst, x, y []float64) { SubIntoW(0, dst, x, y) }
+
+// SubIntoW is SubInto with an explicit worker count.
+func SubIntoW(workers int, dst, x, y []float64) {
+	par.ForChunkedW(workers, len(dst), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = x[i] - y[i]
 		}
@@ -43,8 +63,11 @@ func SubInto(dst, x, y []float64) {
 }
 
 // AddInto computes dst = x + y.
-func AddInto(dst, x, y []float64) {
-	par.ForChunked(len(dst), func(lo, hi int) {
+func AddInto(dst, x, y []float64) { AddIntoW(0, dst, x, y) }
+
+// AddIntoW is AddInto with an explicit worker count.
+func AddIntoW(workers int, dst, x, y []float64) {
+	par.ForChunkedW(workers, len(dst), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = x[i] + y[i]
 		}
@@ -59,19 +82,25 @@ func CopyVec(x []float64) []float64 {
 }
 
 // Mean returns the arithmetic mean of x (0 for empty x).
-func Mean(x []float64) float64 {
+func Mean(x []float64) float64 { return MeanW(0, x) }
+
+// MeanW is Mean with an explicit worker count.
+func MeanW(workers int, x []float64) float64 {
 	if len(x) == 0 {
 		return 0
 	}
-	return par.SumFloat64(len(x), func(i int) float64 { return x[i] }) / float64(len(x))
+	return par.SumFloat64W(workers, len(x), func(i int) float64 { return x[i] }) / float64(len(x))
 }
 
 // ProjectOutConstant subtracts the mean from x in place, projecting onto the
 // space orthogonal to the all-ones vector — the range of a connected
 // Laplacian. Solver iterations call this to keep iterates well-posed.
-func ProjectOutConstant(x []float64) {
-	mu := Mean(x)
-	par.ForChunked(len(x), func(lo, hi int) {
+func ProjectOutConstant(x []float64) { ProjectOutConstantW(0, x) }
+
+// ProjectOutConstantW is ProjectOutConstant with an explicit worker count.
+func ProjectOutConstantW(workers int, x []float64) {
+	mu := MeanW(workers, x)
+	par.ForChunkedW(workers, len(x), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x[i] -= mu
 		}
@@ -83,6 +112,20 @@ func ProjectOutConstant(x []float64) {
 // sizes. Used when the Laplacian's graph is disconnected (null space is
 // per-component constants).
 func ProjectOutConstantMasked(x []float64, comp []int, numComp int) {
+	ProjectOutConstantMaskedW(0, x, comp, numComp)
+}
+
+// ProjectOutConstantMaskedW is ProjectOutConstantMasked with an explicit
+// worker count. The single-component case (the common one on solver hot
+// paths) reduces with the deterministic parallel tree; multi-component
+// accumulation stays sequential — a per-chunk component histogram would
+// cost numComp×chunks scratch per call — but the subtraction pass is
+// parallel either way.
+func ProjectOutConstantMaskedW(workers int, x []float64, comp []int, numComp int) {
+	if numComp == 1 {
+		ProjectOutConstantW(workers, x)
+		return
+	}
 	sum := make([]float64, numComp)
 	cnt := make([]float64, numComp)
 	for i, c := range comp {
@@ -94,9 +137,11 @@ func ProjectOutConstantMasked(x []float64, comp []int, numComp int) {
 			sum[c] /= cnt[c]
 		}
 	}
-	for i, c := range comp {
-		x[i] -= sum[c]
-	}
+	par.ForChunkedW(workers, len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] -= sum[comp[i]]
+		}
+	})
 }
 
 // ANorm returns ‖x‖_A = sqrt(xᵀAx), clamping tiny negative values caused by

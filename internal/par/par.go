@@ -1,15 +1,31 @@
 // Package par provides the parallel primitives used throughout parlap:
-// parallel for-loops, reductions, prefix sums and chunked map operations.
+// parallel for-loops, reductions, prefix sums (scans) and chunked map
+// operations.
 //
-// All primitives are deterministic with respect to their results (reductions
-// use a fixed tree shape) and degrade gracefully to sequential execution for
-// small inputs, where goroutine overhead would dominate. The number of
-// workers defaults to runtime.GOMAXPROCS(0).
+// Every primitive comes in two forms: the plain form (For, SumFloat64, ...)
+// which uses runtime.GOMAXPROCS(0) workers, and a W-suffixed form
+// (ForW, SumFloat64W, ...) taking an explicit worker count as its first
+// argument — 0 means GOMAXPROCS, 1 forces sequential execution. The solver
+// threads its Options.Workers knob through the W forms, which is what makes
+// parallel/sequential equivalence testable.
+//
+// All primitives are deterministic with respect to their results: reductions
+// and scans fold fixed-size chunks (reduceGrain elements) in chunk order, so
+// the combining tree shape depends only on n — never on the worker count or
+// on goroutine scheduling. For exactly associative operators (integer add,
+// min/max) the result equals the sequential fold; for float64 addition the
+// result is bitwise identical across worker counts, including workers=1.
+//
+// A panic raised inside a worker body is captured and re-raised on the
+// calling goroutine once all workers have stopped, so callers can recover
+// from worker panics exactly as they would from a sequential loop.
 package par
 
 import (
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // SequentialThreshold is the input size below which the primitives run
@@ -17,13 +33,91 @@ import (
 // the per-element work it amortizes.
 const SequentialThreshold = 2048
 
-// Workers returns the number of workers parallel primitives will use.
+// reduceGrain is the fixed chunk size used by reductions and scans. The
+// chunk decomposition depends only on n, which pins the combining tree shape
+// and makes results reproducible across worker counts.
+const reduceGrain = 2048
+
+// Workers returns the number of workers parallel primitives use by default.
 func Workers() int { return runtime.GOMAXPROCS(0) }
 
-// For runs body(i) for every i in [0, n) using up to Workers() goroutines.
+// resolve maps the workers knob to an actual worker count: 0 (or negative)
+// means GOMAXPROCS, anything else is taken literally.
+func resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// runTasks executes task(c) for every c in [0, numTasks) on up to p
+// goroutines, pulling task indices from a shared counter for load balance.
+// Task-to-index assignment is fixed, so any per-task output slot is
+// deterministic regardless of which worker runs it. The first panic raised
+// by a task is re-raised on the caller after all workers have stopped.
+func runTasks(p, numTasks int, task func(c int)) {
+	if numTasks <= 0 {
+		return
+	}
+	if p > numTasks {
+		p = numTasks
+	}
+	if p <= 1 {
+		for c := 0; c < numTasks; c++ {
+			task(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var panicked atomic.Bool
+	var panicVal any
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if panicked.CompareAndSwap(false, true) {
+						panicVal = r
+					}
+				}
+			}()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numTasks || panicked.Load() {
+					return
+				}
+				task(c)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// grainChunks returns the number of fixed-grain chunks covering [0, n).
+func grainChunks(n int) int { return (n + reduceGrain - 1) / reduceGrain }
+
+// grainBounds returns chunk c's index range.
+func grainBounds(c, n int) (lo, hi int) {
+	lo = c * reduceGrain
+	hi = lo + reduceGrain
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// For runs body(i) for every i in [0, n) using the default worker count.
 // body must be safe to call concurrently for distinct i.
-func For(n int, body func(i int)) {
-	ForChunked(n, func(lo, hi int) {
+func For(n int, body func(i int)) { ForW(0, n, body) }
+
+// ForW is For with an explicit worker count (0 = GOMAXPROCS, 1 = sequential).
+func ForW(workers, n int, body func(i int)) {
+	ForChunkedW(workers, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
@@ -33,11 +127,14 @@ func For(n int, body func(i int)) {
 // ForChunked splits [0, n) into contiguous chunks and runs body(lo, hi) on
 // each chunk in parallel. It is the preferred form when the body has
 // per-chunk setup cost (e.g. a local buffer).
-func ForChunked(n int, body func(lo, hi int)) {
+func ForChunked(n int, body func(lo, hi int)) { ForChunkedW(0, n, body) }
+
+// ForChunkedW is ForChunked with an explicit worker count.
+func ForChunkedW(workers, n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	p := Workers()
+	p := resolve(workers)
 	if n < SequentialThreshold || p == 1 {
 		body(0, n)
 		return
@@ -48,140 +145,127 @@ func ForChunked(n int, body func(lo, hi int)) {
 		chunks = n
 	}
 	chunkSize := (n + chunks - 1) / chunks
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunkSize {
-		hi := lo + chunkSize
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// Do runs the given functions concurrently and waits for all of them.
-func Do(fns ...func()) {
-	if len(fns) == 1 {
-		fns[0]()
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(fns))
-	for _, fn := range fns {
-		go func(f func()) {
-			defer wg.Done()
-			f()
-		}(fn)
-	}
-	wg.Wait()
-}
-
-// ReduceFloat64 computes the reduction of f(i) over [0, n) with the
-// associative combiner op and identity element id. The combining tree shape
-// is fixed (per-chunk sequential folds combined in chunk order), so results
-// are deterministic for a fixed n and GOMAXPROCS-independent when op is
-// exactly associative (e.g. min/max, integer add).
-func ReduceFloat64(n int, id float64, f func(i int) float64, op func(a, b float64) float64) float64 {
-	if n <= 0 {
-		return id
-	}
-	p := Workers()
-	if n < SequentialThreshold || p == 1 {
-		acc := id
-		for i := 0; i < n; i++ {
-			acc = op(acc, f(i))
-		}
-		return acc
-	}
-	chunks := p * 4
-	if chunks > n {
-		chunks = n
-	}
-	chunkSize := (n + chunks - 1) / chunks
 	numChunks := (n + chunkSize - 1) / chunkSize
-	partial := make([]float64, numChunks)
-	var wg sync.WaitGroup
-	for c := 0; c < numChunks; c++ {
+	runTasks(p, numChunks, func(c int) {
 		lo := c * chunkSize
 		hi := lo + chunkSize
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			acc := id
-			for i := lo; i < hi; i++ {
-				acc = op(acc, f(i))
-			}
-			partial[c] = acc
-		}(c, lo, hi)
+		body(lo, hi)
+	})
+}
+
+// Do runs the given functions concurrently and waits for all of them.
+func Do(fns ...func()) { DoW(0, fns...) }
+
+// DoW is Do with an explicit worker count.
+func DoW(workers int, fns ...func()) {
+	if len(fns) == 0 {
+		return
 	}
-	wg.Wait()
-	acc := id
-	for _, v := range partial {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	runTasks(resolve(workers), len(fns), func(c int) { fns[c]() })
+}
+
+// ReduceFloat64 computes the reduction of f(i) over [0, n) with the
+// associative combiner op and identity element id. Chunks of reduceGrain
+// elements are folded left-to-right from id and the per-chunk partials are
+// combined in chunk order, so the result is bitwise identical for every
+// worker count (the tree shape depends only on n).
+func ReduceFloat64(n int, id float64, f func(i int) float64, op func(a, b float64) float64) float64 {
+	return ReduceFloat64W(0, n, id, f, op)
+}
+
+// ReduceFloat64W is ReduceFloat64 with an explicit worker count.
+func ReduceFloat64W(workers, n int, id float64, f func(i int) float64, op func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return id
+	}
+	numChunks := grainChunks(n)
+	fold := func(lo, hi int) float64 {
+		acc := id
+		for i := lo; i < hi; i++ {
+			acc = op(acc, f(i))
+		}
+		return acc
+	}
+	if numChunks == 1 {
+		return fold(0, n)
+	}
+	partial := make([]float64, numChunks)
+	runTasks(resolve(workers), numChunks, func(c int) {
+		lo, hi := grainBounds(c, n)
+		partial[c] = fold(lo, hi)
+	})
+	acc := partial[0]
+	for _, v := range partial[1:] {
 		acc = op(acc, v)
 	}
 	return acc
 }
 
 // SumFloat64 returns the sum of f(i) over [0, n).
-func SumFloat64(n int, f func(i int) float64) float64 {
-	return ReduceFloat64(n, 0, f, func(a, b float64) float64 { return a + b })
+func SumFloat64(n int, f func(i int) float64) float64 { return SumFloat64W(0, n, f) }
+
+// SumFloat64W is SumFloat64 with an explicit worker count.
+func SumFloat64W(workers, n int, f func(i int) float64) float64 {
+	return ReduceFloat64W(workers, n, 0, f, func(a, b float64) float64 { return a + b })
 }
 
-// ReduceInt computes the reduction of f(i) over [0, n) with combiner op.
+// MinFloat64 returns the minimum of f(i) over [0, n), or id if n <= 0.
+func MinFloat64(n int, id float64, f func(i int) float64) float64 {
+	return ReduceFloat64(n, id, f, func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// ReduceInt computes the reduction of f(i) over [0, n) with combiner op,
+// folding fixed-grain chunks in chunk order (see ReduceFloat64).
 func ReduceInt(n int, id int, f func(i int) int, op func(a, b int) int) int {
+	return ReduceIntW(0, n, id, f, op)
+}
+
+// ReduceIntW is ReduceInt with an explicit worker count.
+func ReduceIntW(workers, n int, id int, f func(i int) int, op func(a, b int) int) int {
 	if n <= 0 {
 		return id
 	}
-	p := Workers()
-	if n < SequentialThreshold || p == 1 {
+	numChunks := grainChunks(n)
+	fold := func(lo, hi int) int {
 		acc := id
-		for i := 0; i < n; i++ {
+		for i := lo; i < hi; i++ {
 			acc = op(acc, f(i))
 		}
 		return acc
 	}
-	chunks := p * 4
-	if chunks > n {
-		chunks = n
+	if numChunks == 1 {
+		return fold(0, n)
 	}
-	chunkSize := (n + chunks - 1) / chunks
-	numChunks := (n + chunkSize - 1) / chunkSize
 	partial := make([]int, numChunks)
-	var wg sync.WaitGroup
-	for c := 0; c < numChunks; c++ {
-		lo := c * chunkSize
-		hi := lo + chunkSize
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			acc := id
-			for i := lo; i < hi; i++ {
-				acc = op(acc, f(i))
-			}
-			partial[c] = acc
-		}(c, lo, hi)
-	}
-	wg.Wait()
-	acc := id
-	for _, v := range partial {
+	runTasks(resolve(workers), numChunks, func(c int) {
+		lo, hi := grainBounds(c, n)
+		partial[c] = fold(lo, hi)
+	})
+	acc := partial[0]
+	for _, v := range partial[1:] {
 		acc = op(acc, v)
 	}
 	return acc
 }
 
 // SumInt returns the sum of f(i) over [0, n).
-func SumInt(n int, f func(i int) int) int {
-	return ReduceInt(n, 0, f, func(a, b int) int { return a + b })
+func SumInt(n int, f func(i int) int) int { return SumIntW(0, n, f) }
+
+// SumIntW is SumInt with an explicit worker count.
+func SumIntW(workers, n int, f func(i int) int) int {
+	return ReduceIntW(workers, n, 0, f, func(a, b int) int { return a + b })
 }
 
 // MaxInt returns the maximum of f(i) over [0, n), or id if n <= 0.
@@ -194,17 +278,21 @@ func MaxInt(n int, id int, f func(i int) int) int {
 	})
 }
 
-// PrefixSumInt computes the exclusive prefix sum of src into a new slice of
-// length len(src)+1: out[0]=0, out[i+1]=out[i]+src[i]. The final element is
-// the total. Runs in O(n) work and O(log n)-style two-pass depth.
-func PrefixSumInt(src []int) []int {
+// Scan computes the exclusive prefix sum of src into a new slice of length
+// len(src)+1: out[0]=0, out[i+1]=out[i]+src[i]. The final element is the
+// total. This is the paper's plus-scan; it runs in O(n) work and two-pass
+// O(n/p + p) depth.
+func Scan(src []int) []int { return ScanW(0, src) }
+
+// ScanW is Scan with an explicit worker count.
+func ScanW(workers int, src []int) []int {
 	n := len(src)
 	out := make([]int, n+1)
 	if n == 0 {
 		return out
 	}
-	p := Workers()
-	if n < SequentialThreshold || p == 1 {
+	numChunks := grainChunks(n)
+	if numChunks == 1 {
 		acc := 0
 		for i, v := range src {
 			out[i] = acc
@@ -213,33 +301,18 @@ func PrefixSumInt(src []int) []int {
 		out[n] = acc
 		return out
 	}
-	chunks := p * 4
-	if chunks > n {
-		chunks = n
-	}
-	chunkSize := (n + chunks - 1) / chunks
-	numChunks := (n + chunkSize - 1) / chunkSize
+	p := resolve(workers)
 	sums := make([]int, numChunks)
 	// Pass 1: per-chunk totals.
-	var wg sync.WaitGroup
-	for c := 0; c < numChunks; c++ {
-		lo := c * chunkSize
-		hi := lo + chunkSize
-		if hi > n {
-			hi = n
+	runTasks(p, numChunks, func(c int) {
+		lo, hi := grainBounds(c, n)
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += src[i]
 		}
-		wg.Add(1)
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			s := 0
-			for i := lo; i < hi; i++ {
-				s += src[i]
-			}
-			sums[c] = s
-		}(c, lo, hi)
-	}
-	wg.Wait()
-	// Scan chunk totals sequentially (numChunks is small).
+		sums[c] = s
+	})
+	// Scan chunk totals sequentially (numChunks ≪ n).
 	acc := 0
 	for c := 0; c < numChunks; c++ {
 		s := sums[c]
@@ -248,34 +321,34 @@ func PrefixSumInt(src []int) []int {
 	}
 	out[n] = acc
 	// Pass 2: per-chunk local scans offset by the chunk's base.
-	for c := 0; c < numChunks; c++ {
-		lo := c * chunkSize
-		hi := lo + chunkSize
-		if hi > n {
-			hi = n
+	runTasks(p, numChunks, func(c int) {
+		lo, hi := grainBounds(c, n)
+		a := sums[c]
+		for i := lo; i < hi; i++ {
+			out[i] = a
+			a += src[i]
 		}
-		wg.Add(1)
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			a := sums[c]
-			for i := lo; i < hi; i++ {
-				out[i] = a
-				a += src[i]
-			}
-		}(c, lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }
 
+// PrefixSumInt computes the exclusive prefix sum of src; see Scan.
+func PrefixSumInt(src []int) []int { return ScanW(0, src) }
+
+// PrefixSumIntW is PrefixSumInt with an explicit worker count.
+func PrefixSumIntW(workers int, src []int) []int { return ScanW(workers, src) }
+
 // FilterIndex returns, in increasing order, all i in [0, n) with keep(i).
 // It uses a parallel count + prefix-sum + scatter, the standard PRAM pack.
-func FilterIndex(n int, keep func(i int) bool) []int {
+func FilterIndex(n int, keep func(i int) bool) []int { return FilterIndexW(0, n, keep) }
+
+// FilterIndexW is FilterIndex with an explicit worker count.
+func FilterIndexW(workers, n int, keep func(i int) bool) []int {
 	if n <= 0 {
 		return nil
 	}
-	p := Workers()
-	if n < SequentialThreshold || p == 1 {
+	numChunks := grainChunks(n)
+	if numChunks == 1 {
 		var out []int
 		for i := 0; i < n; i++ {
 			if keep(i) {
@@ -284,56 +357,105 @@ func FilterIndex(n int, keep func(i int) bool) []int {
 		}
 		return out
 	}
-	chunks := p * 4
-	if chunks > n {
-		chunks = n
-	}
-	chunkSize := (n + chunks - 1) / chunks
-	numChunks := (n + chunkSize - 1) / chunkSize
+	p := resolve(workers)
 	counts := make([]int, numChunks)
-	var wg sync.WaitGroup
-	for c := 0; c < numChunks; c++ {
-		lo := c * chunkSize
-		hi := lo + chunkSize
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			cnt := 0
-			for i := lo; i < hi; i++ {
-				if keep(i) {
-					cnt++
-				}
+	runTasks(p, numChunks, func(c int) {
+		lo, hi := grainBounds(c, n)
+		cnt := 0
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				cnt++
 			}
-			counts[c] = cnt
-		}(c, lo, hi)
-	}
-	wg.Wait()
+		}
+		counts[c] = cnt
+	})
 	offsets := make([]int, numChunks+1)
 	for c := 0; c < numChunks; c++ {
 		offsets[c+1] = offsets[c] + counts[c]
 	}
 	out := make([]int, offsets[numChunks])
-	for c := 0; c < numChunks; c++ {
-		lo := c * chunkSize
-		hi := lo + chunkSize
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			at := offsets[c]
-			for i := lo; i < hi; i++ {
-				if keep(i) {
-					out[at] = i
-					at++
-				}
+	runTasks(p, numChunks, func(c int) {
+		lo, hi := grainBounds(c, n)
+		at := offsets[c]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				out[at] = i
+				at++
 			}
-		}(c, lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 	return out
 }
+
+// SortW sorts xs with the strict-weak order less, using a fixed-grain
+// parallel merge sort: leaf chunks of sortGrain elements are sorted
+// independently, then pairwise-merged over log(n/sortGrain) rounds with the
+// independent merges of each round running in parallel. The leaf layout and
+// merge schedule depend only on len(xs), so the resulting order — including
+// the relative order of less-equal elements — is identical for every worker
+// count.
+func SortW[T any](workers int, xs []T, less func(a, b T) bool) {
+	m := len(xs)
+	numChunks := (m + sortGrain - 1) / sortGrain
+	if numChunks <= 1 {
+		sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	// runTasks directly: the parallel grain here is the chunk count, which
+	// is far below the element-count SequentialThreshold that ForW applies.
+	p := resolve(workers)
+	runTasks(p, numChunks, func(c int) {
+		lo := c * sortGrain
+		hi := lo + sortGrain
+		if hi > m {
+			hi = m
+		}
+		s := xs[lo:hi]
+		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+	})
+	buf := make([]T, m)
+	src, dst := xs, buf
+	for width := sortGrain; width < m; width *= 2 {
+		numPairs := (m + 2*width - 1) / (2 * width)
+		w := width
+		s, d := src, dst
+		runTasks(p, numPairs, func(pi int) {
+			lo := pi * 2 * w
+			mid := lo + w
+			hi := lo + 2*w
+			if mid > m {
+				mid = m
+			}
+			if hi > m {
+				hi = m
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				// !less(s[j], s[i]) keeps the left run first on ties: a
+				// stable merge with a schedule-independent result.
+				if !less(s[j], s[i]) {
+					d[k] = s[i]
+					i++
+				} else {
+					d[k] = s[j]
+					j++
+				}
+				k++
+			}
+			k += copy(d[k:hi], s[i:mid])
+			copy(d[k:hi], s[j:hi])
+		})
+		src, dst = dst, src
+	}
+	if m > 0 && &src[0] != &xs[0] {
+		copy(xs, src)
+	}
+}
+
+// Sort is SortW with the default worker count.
+func Sort[T any](xs []T, less func(a, b T) bool) { SortW(0, xs, less) }
+
+// sortGrain is the fixed leaf size of SortW's merge sort; like reduceGrain
+// it depends only on the input length so sorted order is reproducible across
+// worker counts.
+const sortGrain = 4096

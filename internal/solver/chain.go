@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"sync/atomic"
 
 	"parlap/internal/graph"
 	"parlap/internal/matrix"
+	"parlap/internal/par"
 	"parlap/internal/wd"
 )
 
@@ -83,6 +83,7 @@ type Chain struct {
 	Bottom  *matrix.LaplacianFactor
 	BottomG *graph.Graph
 	Params  ChainParams
+	Opt     Options // runtime execution policy threaded into every kernel
 
 	bottomSolves atomic.Int64
 	rec          *wd.Recorder
@@ -92,9 +93,17 @@ type Chain struct {
 // so far — the quantity Π√κᵢ that Lemma 6.6's depth bound counts.
 func (c *Chain) BottomSolves() int64 { return c.bottomSolves.Load() }
 
-// BuildChain constructs the preconditioner chain for the Laplacian graph g.
-// The recorder (optional) accumulates construction work/depth.
+// BuildChain constructs the preconditioner chain for the Laplacian graph g
+// with the default execution policy. The recorder (optional) accumulates
+// construction work/depth.
 func BuildChain(g *graph.Graph, p ChainParams, rec *wd.Recorder) (*Chain, error) {
+	return BuildChainOpts(g, p, Options{}, rec)
+}
+
+// BuildChainOpts is BuildChain with an explicit execution policy: every
+// parallel kernel in construction (Laplacian CSR builds, parallel-edge
+// merging, elimination sweeps, calibration) runs with opt.Workers.
+func BuildChainOpts(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder) (*Chain, error) {
 	if p.BottomFloor <= 0 {
 		p.BottomFloor = 64
 	}
@@ -118,8 +127,9 @@ func BuildChain(g *graph.Graph, p ChainParams, rec *wd.Recorder) (*Chain, error)
 		p.KappaGrowth = 1
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
-	c := &Chain{Params: p, rec: rec}
-	cur := mergeParallel(g)
+	c := &Chain{Params: p, Opt: opt, rec: rec}
+	w := opt.Workers
+	cur := mergeParallelW(w, g)
 	kappa := p.Sparsify.Kappa
 	for len(c.Levels) < p.MaxLevels {
 		if cur.M() <= bottomEdges || cur.N <= p.BottomFloor {
@@ -129,12 +139,12 @@ func BuildChain(g *graph.Graph, p ChainParams, rec *wd.Recorder) (*Chain, error)
 		sp.Kappa = kappa
 		kappa *= p.KappaGrowth
 		res := IncrementalSparsify(cur, sp, rng, rec)
-		elim := GreedyElimination(res.H, rng, rec)
+		elim := GreedyEliminationW(w, res.H, rng, rec)
 		if float64(elim.Reduced.M()) > p.ShrinkRetry*float64(cur.M()) {
 			// Retry once with a coarser preconditioner.
 			sp.Kappa *= 2
 			res = IncrementalSparsify(cur, sp, rng, rec)
-			elim = GreedyElimination(res.H, rng, rec)
+			elim = GreedyEliminationW(w, res.H, rng, rec)
 			if float64(elim.Reduced.M()) > p.ShrinkRetry*float64(cur.M()) {
 				break // cannot shrink further; truncate here
 			}
@@ -145,7 +155,7 @@ func BuildChain(g *graph.Graph, p ChainParams, rec *wd.Recorder) (*Chain, error)
 			its = p.MaxChebIts
 		}
 		lvl := Level{
-			G: cur, Lap: matrix.LaplacianOf(cur), Comp: comp, NumComp: k,
+			G: cur, Lap: matrix.LaplacianOfW(w, cur), Comp: comp, NumComp: k,
 			Spars: res, Elim: elim, Kappa: sp.Kappa,
 			ChebIts: its, EigHi: 1, EigLo: 1 / (sp.Kappa * p.ChebSlack),
 		}
@@ -156,7 +166,7 @@ func BuildChain(g *graph.Graph, p ChainParams, rec *wd.Recorder) (*Chain, error)
 		return nil, fmt.Errorf("solver: chain truncation left %d vertices (> %d) for the dense bottom solve; increase MaxLevels or adjust sparsifier", cur.N, p.MaxBottomVertices)
 	}
 	comp, k := cur.ConnectedComponents()
-	bf, err := matrix.NewLaplacianFactor(matrix.LaplacianOf(cur), comp, k)
+	bf, err := matrix.NewLaplacianFactor(matrix.LaplacianOfW(w, cur), comp, k)
 	if err != nil {
 		return nil, fmt.Errorf("solver: bottom factorization: %w", err)
 	}
@@ -185,6 +195,7 @@ func BuildChain(g *graph.Graph, p ChainParams, rec *wd.Recorder) (*Chain, error)
 //     edge can push spec(H⁻¹A) above the assumed bound, where a fixed-
 //     degree Chebyshev polynomial blows up exponentially.
 func (c *Chain) calibrate(rng *rand.Rand) {
+	w := c.Opt.Workers
 	for i := range c.Levels {
 		lvl := &c.Levels[i]
 		var prevM int
@@ -209,19 +220,19 @@ func (c *Chain) calibrate(rng *rand.Rand) {
 		for j := range x {
 			x[j] = rng.NormFloat64()
 		}
-		matrix.ProjectOutConstantMasked(x, lvl.Comp, lvl.NumComp)
+		matrix.ProjectOutConstantMaskedW(w, x, lvl.Comp, lvl.NumComp)
 		lam := 1.0
 		ax := make([]float64, n)
 		for it := 0; it < 12; it++ {
-			lvl.Lap.MulVec(x, ax)
+			lvl.Lap.MulVecW(w, x, ax)
 			y := c.applyH(i, ax)
-			matrix.ProjectOutConstantMasked(y, lvl.Comp, lvl.NumComp)
-			ny := matrix.Norm2(y)
+			matrix.ProjectOutConstantMaskedW(w, y, lvl.Comp, lvl.NumComp)
+			ny := matrix.Norm2W(w, y)
 			if ny == 0 {
 				break
 			}
-			lam = ny / matrix.Norm2(x)
-			matrix.ScaleInto(y, 1/ny, y)
+			lam = ny / matrix.Norm2W(w, x)
+			matrix.ScaleIntoW(w, y, 1/ny, y)
 			x = y
 		}
 		lvl.EigHi = lam * 1.3 // safety margin over the power-iteration estimate
@@ -229,34 +240,51 @@ func (c *Chain) calibrate(rng *rand.Rand) {
 	}
 }
 
-// mergeParallel merges parallel edges (summing conductances) and drops
-// self-loops and zero-weight edges.
-func mergeParallel(g *graph.Graph) *graph.Graph {
-	type key struct{ u, v int }
-	acc := make(map[key]float64, len(g.Edges))
-	for _, e := range g.Edges {
-		if e.U == e.V || e.W == 0 {
-			continue
+// mergeParallelW merges parallel edges (summing conductances) and drops
+// self-loops and zero-weight edges, via a parallel sort + segmented sum.
+// The sort's fixed-grain schedule keeps the summation order — and thus the
+// merged weights — identical for every worker count.
+func mergeParallelW(workers int, g *graph.Graph) *graph.Graph {
+	live := par.FilterIndexW(workers, len(g.Edges), func(i int) bool {
+		e := g.Edges[i]
+		return e.U != e.V && e.W != 0
+	})
+	norm := make([]graph.Edge, len(live))
+	par.ForW(workers, len(live), func(i int) {
+		e := g.Edges[live[i]]
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
 		}
-		u, v := e.U, e.V
-		if u > v {
-			u, v = v, u
+		norm[i] = e
+	})
+	par.SortW(workers, norm, func(a, b graph.Edge) bool {
+		if a.U != b.U {
+			return a.U < b.U
 		}
-		acc[key{u, v}] += e.W
-	}
-	edges := make([]graph.Edge, 0, len(acc))
-	for k, w := range acc {
-		edges = append(edges, graph.Edge{U: k.u, V: k.v, W: w})
-	}
-	// Canonical order for determinism (map iteration is randomized).
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
+		return a.V < b.V
+	})
+	m := len(norm)
+	heads := par.FilterIndexW(workers, m, func(i int) bool {
+		return i == 0 || norm[i].U != norm[i-1].U || norm[i].V != norm[i-1].V
+	})
+	edges := make([]graph.Edge, len(heads))
+	par.ForW(workers, len(heads), func(j int) {
+		lo := heads[j]
+		hi := m
+		if j+1 < len(heads) {
+			hi = heads[j+1]
 		}
-		return edges[i].V < edges[j].V
+		e := norm[lo]
+		for i := lo + 1; i < hi; i++ {
+			e.W += norm[i].W
+		}
+		edges[j] = e
 	})
 	return graph.FromEdges(g.N, edges)
 }
+
+// mergeParallel is mergeParallelW with the default worker count.
+func mergeParallel(g *graph.Graph) *graph.Graph { return mergeParallelW(0, g) }
 
 // Depth returns the number of levels above the bottom solve.
 func (c *Chain) Depth() int { return len(c.Levels) }
@@ -283,7 +311,7 @@ func (c *Chain) solveLevel(i int, b []float64) []float64 {
 		return c.Bottom.Solve(b)
 	}
 	lvl := &c.Levels[i]
-	return chebyshev(lvl.Lap, b, lvl.ChebIts, lvl.EigLo, lvl.EigHi,
+	return chebyshev(c.Opt.Workers, lvl.Lap, b, lvl.ChebIts, lvl.EigLo, lvl.EigHi,
 		func(r []float64) []float64 { return c.applyH(i, r) },
 		lvl.Comp, lvl.NumComp, c.rec)
 }
@@ -293,11 +321,12 @@ func (c *Chain) solveLevel(i int, b []float64) []float64 {
 // The κ scaling of the subgraph inside H is part of H's definition, so no
 // extra scaling appears here.
 func (c *Chain) applyH(i int, r []float64) []float64 {
+	w := c.Opt.Workers
 	lvl := &c.Levels[i]
-	red, carry := lvl.Elim.ForwardRHS(r)
+	red, carry := lvl.Elim.ForwardRHSW(w, r)
 	xr := c.solveLevel(i+1, red)
-	z := lvl.Elim.BackSolve(xr, carry)
-	matrix.ProjectOutConstantMasked(z, lvl.Comp, lvl.NumComp)
+	z := lvl.Elim.BackSolveW(w, xr, carry)
+	matrix.ProjectOutConstantMaskedW(w, z, lvl.Comp, lvl.NumComp)
 	c.rec.Add(int64(len(lvl.Elim.Ops))+int64(len(r)), int64(lvl.Elim.Rounds)+1)
 	return z
 }

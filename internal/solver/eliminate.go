@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"parlap/internal/graph"
+	"parlap/internal/par"
 	"parlap/internal/wd"
 )
 
@@ -45,16 +46,43 @@ type Elimination struct {
 	Rounds   int
 }
 
+// coin3 is a deterministic 1/3-probability coin: a splitmix64-style hash of
+// (seed, v). Using a counter-free hash instead of a shared rng stream lets
+// the per-round marking run in parallel without changing its outcome.
+func coin3(seed uint64, v int32) bool {
+	x := seed ^ (uint64(uint32(v))+1)*0x9E3779B97F4A7C15
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x%3 == 0
+}
+
 // GreedyElimination performs the parallel partial Cholesky factorization of
+// Lemma 6.5 on a Laplacian graph with the default worker count; see
+// GreedyEliminationW.
+func GreedyElimination(g *graph.Graph, rng *rand.Rand, rec *wd.Recorder) *Elimination {
+	return GreedyEliminationW(0, g, rng, rec)
+}
+
+// GreedyEliminationW performs the parallel partial Cholesky factorization of
 // Lemma 6.5 on a Laplacian graph (weights are conductances): repeatedly
 // eliminate all degree-≤1 vertices (rake) and a random independent set of
 // degree-2 vertices (compress, via the paper's 1/3-coin marking), recording
 // every operation for exact back-substitution. Parallel edges are merged and
 // self-loops dropped on entry.
 //
+// Each round's candidate scan, coin marking and willingness test run with
+// workers goroutines (0 = GOMAXPROCS, 1 = sequential); the coins are a hash
+// of a per-round seed drawn from rng, so the elimination is identical for
+// every worker count given the same rng state. The greedy independent-set
+// pass and the adjacency splice stay sequential — they are O(candidates)
+// and mutate shared maps.
+//
 // The recorder is charged work = adjacency touched and depth = 1 per round,
 // matching the O(n+m) work / O(log n) depth bound.
-func GreedyElimination(g *graph.Graph, rng *rand.Rand, rec *wd.Recorder) *Elimination {
+func GreedyEliminationW(workers int, g *graph.Graph, rng *rand.Rand, rec *wd.Recorder) *Elimination {
 	n := g.N
 	// Adjacency as conductance maps with parallels merged.
 	adj := make([]map[int32]float64, n)
@@ -74,49 +102,54 @@ func GreedyElimination(g *graph.Graph, rng *rand.Rand, rec *wd.Recorder) *Elimin
 		alive[i] = true
 	}
 	aliveCount := n
+	heads := make([]bool, n)
+	accepted := make([]bool, n)
 	for {
-		// Candidates at round start.
-		var cand []int32
-		for v := 0; v < n; v++ {
-			if alive[v] && len(adj[v]) <= 2 {
-				cand = append(cand, int32(v))
-			}
-		}
+		// Candidates at round start (parallel pack over the vertex set;
+		// adjacency maps are read-only during the scan).
+		cand := par.FilterIndexW(workers, n, func(v int) bool {
+			return alive[v] && len(adj[v]) <= 2
+		})
 		if len(cand) == 0 {
 			break
 		}
 		// Coin flips for degree-2 vertices (the paper's independent-set
-		// marking); degree ≤ 1 vertices are always willing.
-		heads := make(map[int32]bool)
-		for _, v := range cand {
+		// marking); degree ≤ 1 vertices are always willing. The round seed
+		// is drawn sequentially so the rng stream stays schedule-free.
+		roundSeed := uint64(rng.Int63())
+		par.ForW(workers, len(cand), func(i int) {
+			v := cand[i]
 			if len(adj[v]) == 2 {
-				heads[v] = rng.Intn(3) == 0
+				heads[v] = coin3(roundSeed, int32(v))
 			}
-		}
-		willing := func(v int32) bool {
+		})
+		willing := make([]bool, len(cand))
+		par.ForW(workers, len(cand), func(i int) {
+			v := int32(cand[i])
 			if len(adj[v]) < 2 {
-				return true
+				willing[i] = true
+				return
 			}
 			if !heads[v] {
-				return false
+				return
 			}
 			for u := range adj[v] {
 				if du := len(adj[u]); du == 2 && heads[u] {
-					return false // neighbor flipped heads too: unmarked
+					return // neighbor flipped heads too: unmarked
 				}
 			}
-			return true
-		}
+			willing[i] = true
+		})
 		// Greedy pass enforcing strict independence (no two eliminated
 		// vertices adjacent), which keeps intra-round back-substitutions
 		// independent even across rake/compress interactions.
-		accepted := make(map[int32]bool)
 		var roundOps []ElimOp
 		touched := 0
-		for _, v := range cand {
-			if !willing(v) {
+		for i, vi := range cand {
+			if !willing[i] {
 				continue
 			}
+			v := int32(vi)
 			conflict := false
 			for u := range adj[v] {
 				if accepted[u] {
@@ -154,6 +187,11 @@ func GreedyElimination(g *graph.Graph, rng *rand.Rand, rec *wd.Recorder) *Elimin
 			}
 			accepted[v] = true
 			touched += len(adj[v]) + 1
+		}
+		// Reset the per-round marks (only candidate slots were written).
+		for _, v := range cand {
+			heads[v] = false
+			accepted[v] = false
 		}
 		if len(roundOps) == 0 {
 			// All willing vertices conflicted — possible only when every
@@ -217,51 +255,104 @@ func GreedyElimination(g *graph.Graph, rng *rand.Rand, rec *wd.Recorder) *Elimin
 	return el
 }
 
-// ForwardRHS pushes a right-hand side through the elimination: eliminated
+// roundBounds returns the Ops index range of round ri.
+func (el *Elimination) roundBounds(ri int) (lo, hi int) {
+	lo = 0
+	if ri > 0 {
+		lo = el.RoundEnd[ri-1]
+	}
+	return lo, el.RoundEnd[ri]
+}
+
+// ForwardRHS pushes a right-hand side through the elimination with the
+// default worker count; see ForwardRHSW.
+func (el *Elimination) ForwardRHS(b []float64) (reduced, carry []float64) {
+	return el.ForwardRHSW(0, b)
+}
+
+// ForwardRHSW pushes a right-hand side through the elimination: eliminated
 // vertices forward their b-mass to their neighbors. It returns the reduced
 // right-hand side and the per-op carried values needed by BackSolve.
 // The input b is not modified.
-func (el *Elimination) ForwardRHS(b []float64) (reduced, carry []float64) {
+//
+// Within a round the eliminated vertices form an independent set, and a
+// round's scatter targets (neighbors) are never that round's eliminated
+// vertices — so the carry reads of a round see no same-round writes and run
+// in parallel. The scatter itself stays sequential in op order: two ops may
+// share a neighbor, and a fixed accumulation order keeps the float64 sums
+// deterministic.
+func (el *Elimination) ForwardRHSW(workers int, b []float64) (reduced, carry []float64) {
 	work := make([]float64, el.OrigN)
 	copy(work, b)
 	carry = make([]float64, len(el.Ops))
-	for i, op := range el.Ops {
-		bv := work[op.V]
-		carry[i] = bv
-		switch op.Kind {
-		case elimDeg1:
-			work[op.A] += bv
-		case elimDeg2:
-			s := op.W1 + op.W2
-			work[op.A] += bv * op.W1 / s
-			work[op.B] += bv * op.W2 / s
+	for ri := 0; ri < el.Rounds; ri++ {
+		lo, hi := el.roundBounds(ri)
+		ops := el.Ops[lo:hi]
+		par.ForChunkedW(workers, len(ops), func(clo, chi int) {
+			for k := clo; k < chi; k++ {
+				carry[lo+k] = work[ops[k].V]
+			}
+		})
+		for k := range ops {
+			op := &ops[k]
+			bv := carry[lo+k]
+			switch op.Kind {
+			case elimDeg1:
+				work[op.A] += bv
+			case elimDeg2:
+				s := op.W1 + op.W2
+				work[op.A] += bv * op.W1 / s
+				work[op.B] += bv * op.W2 / s
+			}
 		}
 	}
 	reduced = make([]float64, len(el.Keep))
-	for j, v := range el.Keep {
-		reduced[j] = work[v]
-	}
+	par.ForChunkedW(workers, len(el.Keep), func(clo, chi int) {
+		for j := clo; j < chi; j++ {
+			reduced[j] = work[el.Keep[j]]
+		}
+	})
 	return reduced, carry
 }
 
-// BackSolve extends a solution of the reduced system to the full system by
-// replaying the elimination log in reverse. carry must come from the
-// ForwardRHS call for the same right-hand side.
+// BackSolve extends a solution of the reduced system with the default worker
+// count; see BackSolveW.
 func (el *Elimination) BackSolve(xReduced, carry []float64) []float64 {
+	return el.BackSolveW(0, xReduced, carry)
+}
+
+// BackSolveW extends a solution of the reduced system to the full system by
+// replaying the elimination log in reverse, round by round. carry must come
+// from the ForwardRHS call for the same right-hand side.
+//
+// Each op writes only x[op.V], and a round's neighbor reads (x[op.A],
+// x[op.B]) refer to vertices eliminated in later rounds or kept — already
+// final when the round replays — so ops within a round run in parallel,
+// realizing the Lemma 6.5 claim that rounds are the only sequential
+// dependency.
+func (el *Elimination) BackSolveW(workers int, xReduced, carry []float64) []float64 {
 	x := make([]float64, el.OrigN)
-	for j, v := range el.Keep {
-		x[v] = xReduced[j]
-	}
-	for i := len(el.Ops) - 1; i >= 0; i-- {
-		op := el.Ops[i]
-		switch op.Kind {
-		case elimDeg0:
-			x[op.V] = 0
-		case elimDeg1:
-			x[op.V] = x[op.A] + carry[i]/op.W1
-		case elimDeg2:
-			x[op.V] = (op.W1*x[op.A] + op.W2*x[op.B] + carry[i]) / (op.W1 + op.W2)
+	par.ForChunkedW(workers, len(el.Keep), func(clo, chi int) {
+		for j := clo; j < chi; j++ {
+			x[el.Keep[j]] = xReduced[j]
 		}
+	})
+	for ri := el.Rounds - 1; ri >= 0; ri-- {
+		lo, hi := el.roundBounds(ri)
+		ops := el.Ops[lo:hi]
+		par.ForChunkedW(workers, len(ops), func(clo, chi int) {
+			for k := clo; k < chi; k++ {
+				op := &ops[k]
+				switch op.Kind {
+				case elimDeg0:
+					x[op.V] = 0
+				case elimDeg1:
+					x[op.V] = x[op.A] + carry[lo+k]/op.W1
+				case elimDeg2:
+					x[op.V] = (op.W1*x[op.A] + op.W2*x[op.B] + carry[lo+k]) / (op.W1 + op.W2)
+				}
+			}
+		})
 	}
 	return x
 }

@@ -11,13 +11,14 @@ import (
 // spec(M⁻¹A) ⊆ [a, bnd], performing exactly iters iterations (a fixed
 // linear operator, as Lemma 6.7 requires for the recursion). precond must
 // approximate M⁻¹. comp/numComp identify A's connected components for
-// null-space projection.
-func chebyshev(a *matrix.Sparse, b []float64, iters int, lo, hi float64,
+// null-space projection. workers selects the vector-kernel parallelism
+// (0 = GOMAXPROCS, 1 = sequential).
+func chebyshev(workers int, a *matrix.Sparse, b []float64, iters int, lo, hi float64,
 	precond func([]float64) []float64, comp []int, numComp int, rec *wd.Recorder) []float64 {
 	n := a.N
 	x := make([]float64, n)
 	r := matrix.CopyVec(b)
-	matrix.ProjectOutConstantMasked(r, comp, numComp)
+	matrix.ProjectOutConstantMaskedW(workers, r, comp, numComp)
 	d := (hi + lo) / 2
 	cc := (hi - lo) / 2
 	var p []float64
@@ -25,7 +26,7 @@ func chebyshev(a *matrix.Sparse, b []float64, iters int, lo, hi float64,
 	ap := make([]float64, n)
 	for k := 0; k < iters; k++ {
 		z := precond(r)
-		matrix.ProjectOutConstantMasked(z, comp, numComp)
+		matrix.ProjectOutConstantMaskedW(workers, z, comp, numComp)
 		switch k {
 		case 0:
 			p = matrix.CopyVec(z)
@@ -33,18 +34,18 @@ func chebyshev(a *matrix.Sparse, b []float64, iters int, lo, hi float64,
 		case 1:
 			beta = 0.5 * (cc * alpha) * (cc * alpha)
 			alpha = 1 / (d - beta/alpha)
-			matrix.AxpyInto(p, beta, p, z)
+			matrix.AxpyIntoW(workers, p, beta, p, z)
 		default:
 			beta = (cc * alpha / 2) * (cc * alpha / 2)
 			alpha = 1 / (d - beta/alpha)
-			matrix.AxpyInto(p, beta, p, z)
+			matrix.AxpyIntoW(workers, p, beta, p, z)
 		}
-		matrix.AxpyInto(x, alpha, p, x)
-		a.MulVec(p, ap)
-		matrix.AxpyInto(r, -alpha, ap, r)
+		matrix.AxpyIntoW(workers, x, alpha, p, x)
+		a.MulVecW(workers, p, ap)
+		matrix.AxpyIntoW(workers, r, -alpha, ap, r)
 		rec.Add(int64(a.NNZ()+6*n), 2)
 	}
-	matrix.ProjectOutConstantMasked(x, comp, numComp)
+	matrix.ProjectOutConstantMaskedW(workers, x, comp, numComp)
 	return x
 }
 
@@ -61,36 +62,37 @@ type SolveStats struct {
 // pcgFlexible is a flexible (Polak–Ribière) preconditioned conjugate
 // gradient: it tolerates the mildly nonlinear preconditioner that a
 // recursive Chebyshev chain is in floating point. Stops when the relative
-// residual drops below tol or after maxIter iterations.
-func pcgFlexible(a *matrix.Sparse, b []float64, precond func([]float64) []float64,
+// residual drops below tol or after maxIter iterations. workers selects the
+// vector-kernel parallelism.
+func pcgFlexible(workers int, a *matrix.Sparse, b []float64, precond func([]float64) []float64,
 	comp []int, numComp int, tol float64, maxIter int, rec *wd.Recorder) ([]float64, SolveStats) {
 	n := a.N
 	x := make([]float64, n)
 	r := matrix.CopyVec(b)
-	matrix.ProjectOutConstantMasked(r, comp, numComp)
-	bnorm := matrix.Norm2(r)
+	matrix.ProjectOutConstantMaskedW(workers, r, comp, numComp)
+	bnorm := matrix.Norm2W(workers, r)
 	st := SolveStats{}
 	if bnorm == 0 {
 		st.Converged = true
 		return x, st
 	}
 	z := precond(r)
-	matrix.ProjectOutConstantMasked(z, comp, numComp)
+	matrix.ProjectOutConstantMaskedW(workers, z, comp, numComp)
 	p := matrix.CopyVec(z)
-	rz := matrix.Dot(r, z)
+	rz := matrix.DotW(workers, r, z)
 	ap := make([]float64, n)
 	prevR := matrix.CopyVec(r)
 	for k := 0; k < maxIter; k++ {
 		st.Iterations = k + 1
-		a.MulVec(p, ap)
-		pap := matrix.Dot(p, ap)
+		a.MulVecW(workers, p, ap)
+		pap := matrix.DotW(workers, p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
 			break // preconditioner broke positive-definiteness; stop
 		}
 		alpha := rz / pap
-		matrix.AxpyInto(x, alpha, p, x)
-		matrix.AxpyInto(r, -alpha, ap, r)
-		res := matrix.Norm2(r) / bnorm
+		matrix.AxpyIntoW(workers, x, alpha, p, x)
+		matrix.AxpyIntoW(workers, r, -alpha, ap, r)
+		res := matrix.Norm2W(workers, r) / bnorm
 		st.Residual = res
 		rec.Add(int64(a.NNZ()+10*n), 2)
 		if res <= tol {
@@ -98,30 +100,30 @@ func pcgFlexible(a *matrix.Sparse, b []float64, precond func([]float64) []float6
 			break
 		}
 		z = precond(r)
-		matrix.ProjectOutConstantMasked(z, comp, numComp)
+		matrix.ProjectOutConstantMaskedW(workers, z, comp, numComp)
 		// Polak–Ribière: β = z·(r − r_prev) / rz_old (flexible variant).
 		diff := make([]float64, n)
-		matrix.SubInto(diff, r, prevR)
-		beta := matrix.Dot(z, diff) / rz
+		matrix.SubIntoW(workers, diff, r, prevR)
+		beta := matrix.DotW(workers, z, diff) / rz
 		if beta < 0 || math.IsNaN(beta) {
 			beta = 0 // restart
 		}
-		rz = matrix.Dot(r, z)
+		rz = matrix.DotW(workers, r, z)
 		if rz <= 0 || math.IsNaN(rz) {
-			rz = matrix.Dot(r, r) // fall back to unpreconditioned direction
+			rz = matrix.DotW(workers, r, r) // fall back to unpreconditioned direction
 			z = matrix.CopyVec(r)
 		}
-		matrix.AxpyInto(p, beta, p, z)
+		matrix.AxpyIntoW(workers, p, beta, p, z)
 		copy(prevR, r)
 	}
-	matrix.ProjectOutConstantMasked(x, comp, numComp)
+	matrix.ProjectOutConstantMaskedW(workers, x, comp, numComp)
 	st.Work, st.Depth = rec.Work(), rec.Depth()
 	return x, st
 }
 
 // CG is the unpreconditioned conjugate-gradient baseline.
 func CG(a *matrix.Sparse, b []float64, comp []int, numComp int, tol float64, maxIter int, rec *wd.Recorder) ([]float64, SolveStats) {
-	return pcgFlexible(a, b, matrix.CopyVec, comp, numComp, tol, maxIter, rec)
+	return pcgFlexible(0, a, b, matrix.CopyVec, comp, numComp, tol, maxIter, rec)
 }
 
 // JacobiPCG is the diagonally preconditioned CG baseline.
@@ -139,5 +141,5 @@ func JacobiPCG(a *matrix.Sparse, b []float64, comp []int, numComp int, tol float
 		}
 		return z
 	}
-	return pcgFlexible(a, b, precond, comp, numComp, tol, maxIter, rec)
+	return pcgFlexible(0, a, b, precond, comp, numComp, tol, maxIter, rec)
 }

@@ -1,0 +1,24 @@
+package solver
+
+// Options selects the runtime execution policy of a solver, independently of
+// the numerical ChainParams. It exists so the same chain can be driven
+// sequentially and in parallel and the two runs compared: the pipeline's
+// iteration-time kernels (CSR construction, AXPY/dot/residual, the
+// elimination forward/back substitutions, Chebyshev and PCG iteration) and
+// the chain-level construction kernels are selected through Workers, and
+// par's fixed-grain reductions make the results bitwise identical across
+// settings.
+//
+// Scope note: the sparsification sub-stages reached through
+// IncrementalSparsify (low-stretch subgraph construction, stretch scoring,
+// low-diameter decomposition) currently run on the process-default worker
+// count regardless of Workers — their results are worker-count-independent
+// by the same fixed-grain design, but Workers:1 does not make *construction*
+// single-goroutine end-to-end (see ROADMAP open items).
+type Options struct {
+	// Workers is the number of goroutines used by the solver's parallel
+	// kernels: 0 means runtime.GOMAXPROCS(0), 1 forces the sequential
+	// reference path (for the kernels listed above), and any other value is
+	// used literally.
+	Workers int
+}

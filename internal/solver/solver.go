@@ -11,32 +11,44 @@ import (
 
 // Solver is the public entry point: a Laplacian solver backed by the
 // paper's preconditioner chain (Theorem 1.1). Construct once per graph with
-// New, then Solve any number of right-hand sides.
+// New (or NewWithOptions to pin the worker count), then Solve any number of
+// right-hand sides.
 type Solver struct {
 	G       *graph.Graph
 	Lap     *matrix.Sparse
 	Chain   *Chain
 	Comp    []int
 	NumComp int
+	Opt     Options
 
 	rec     *wd.Recorder
 	MaxIter int
 }
 
-// New builds a Solver for the Laplacian of g. The recorder is optional and
-// accumulates analytical work/depth across construction and solves.
+// New builds a Solver for the Laplacian of g with the default execution
+// policy. The recorder is optional and accumulates analytical work/depth
+// across construction and solves.
 func New(g *graph.Graph, p ChainParams, rec *wd.Recorder) (*Solver, error) {
+	return NewWithOptions(g, p, Options{}, rec)
+}
+
+// NewWithOptions builds a Solver whose construction and iteration kernels
+// run with opt.Workers goroutines (0 = GOMAXPROCS, 1 = the sequential
+// reference path). Because every parallel reduction uses a fixed combining
+// tree, solvers built from the same inputs produce bitwise-identical
+// results for every Workers setting.
+func NewWithOptions(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder) (*Solver, error) {
 	if g.N == 0 {
 		return nil, fmt.Errorf("solver: empty graph")
 	}
-	ch, err := BuildChain(g, p, rec)
+	ch, err := BuildChainOpts(g, p, opt, rec)
 	if err != nil {
 		return nil, err
 	}
 	comp, k := g.ConnectedComponents()
 	s := &Solver{
-		G: g, Lap: matrix.LaplacianOf(g), Chain: ch,
-		Comp: comp, NumComp: k, rec: rec,
+		G: g, Lap: matrix.LaplacianOfW(opt.Workers, g), Chain: ch,
+		Comp: comp, NumComp: k, Opt: opt, rec: rec,
 		MaxIter: 10 * int(math.Sqrt(float64(g.N))+100),
 	}
 	return s, nil
@@ -54,7 +66,7 @@ func (s *Solver) Solve(b []float64, eps float64) ([]float64, SolveStats) {
 	pre := func(r []float64) []float64 {
 		return s.Chain.PrecondApply(r)
 	}
-	x, st := pcgFlexible(s.Lap, b, pre, s.Comp, s.NumComp, eps, s.MaxIter, s.rec)
+	x, st := pcgFlexible(s.Opt.Workers, s.Lap, b, pre, s.Comp, s.NumComp, eps, s.MaxIter, s.rec)
 	return x, st
 }
 
@@ -65,11 +77,12 @@ func (s *Solver) SolveChebyshev(b []float64, eps float64) ([]float64, SolveStats
 	if eps <= 0 {
 		eps = 1e-8
 	}
+	w := s.Opt.Workers
 	n := s.G.N
 	x := make([]float64, n)
 	r := matrix.CopyVec(b)
-	matrix.ProjectOutConstantMasked(r, s.Comp, s.NumComp)
-	bnorm := matrix.Norm2(r)
+	matrix.ProjectOutConstantMaskedW(w, r, s.Comp, s.NumComp)
+	bnorm := matrix.Norm2W(w, r)
 	st := SolveStats{}
 	if bnorm == 0 {
 		st.Converged = true
@@ -91,13 +104,13 @@ func (s *Solver) SolveChebyshev(b []float64, eps float64) ([]float64, SolveStats
 	ax := make([]float64, n)
 	maxRounds := 200
 	for round := 0; round < maxRounds; round++ {
-		dx := chebyshev(s.Lap, r, its, lo, hi, pre, s.Comp, s.NumComp, s.rec)
-		matrix.AddInto(x, x, dx)
-		s.Lap.MulVec(x, ax)
-		matrix.SubInto(r, b, ax)
-		matrix.ProjectOutConstantMasked(r, s.Comp, s.NumComp)
+		dx := chebyshev(w, s.Lap, r, its, lo, hi, pre, s.Comp, s.NumComp, s.rec)
+		matrix.AddIntoW(w, x, x, dx)
+		s.Lap.MulVecW(w, x, ax)
+		matrix.SubIntoW(w, r, b, ax)
+		matrix.ProjectOutConstantMaskedW(w, r, s.Comp, s.NumComp)
 		st.Iterations += its
-		st.Residual = matrix.Norm2(r) / bnorm
+		st.Residual = matrix.Norm2W(w, r) / bnorm
 		if st.Residual <= eps {
 			st.Converged = true
 			break
@@ -112,17 +125,18 @@ func (s *Solver) SolveChebyshev(b []float64, eps float64) ([]float64, SolveStats
 
 // Residual returns ‖b − L x‖₂ / ‖b‖₂ with b projected per component.
 func (s *Solver) Residual(x, b []float64) float64 {
+	w := s.Opt.Workers
 	r := matrix.CopyVec(b)
-	matrix.ProjectOutConstantMasked(r, s.Comp, s.NumComp)
-	bn := matrix.Norm2(r)
+	matrix.ProjectOutConstantMaskedW(w, r, s.Comp, s.NumComp)
+	bn := matrix.Norm2W(w, r)
 	ax := s.Lap.Apply(x)
-	matrix.SubInto(r, r, ax)
+	matrix.SubIntoW(w, r, r, ax)
 	// L x is automatically in range(L); projection of r keeps comparisons fair.
-	matrix.ProjectOutConstantMasked(r, s.Comp, s.NumComp)
+	matrix.ProjectOutConstantMaskedW(w, r, s.Comp, s.NumComp)
 	if bn == 0 {
 		return 0
 	}
-	return matrix.Norm2(r) / bn
+	return matrix.Norm2W(w, r) / bn
 }
 
 // SDDSolver solves general symmetric diagonally dominant systems by the
@@ -134,10 +148,16 @@ type SDDSolver struct {
 	direct bool    // A was already a Laplacian; no reduction employed
 }
 
-// NewSDD builds a solver for the SDD matrix a.
+// NewSDD builds a solver for the SDD matrix a with the default execution
+// policy.
 func NewSDD(a *matrix.Sparse, p ChainParams, rec *wd.Recorder) (*SDDSolver, error) {
+	return NewSDDWithOptions(a, p, Options{}, rec)
+}
+
+// NewSDDWithOptions is NewSDD with an explicit execution policy.
+func NewSDDWithOptions(a *matrix.Sparse, p ChainParams, opt Options, rec *wd.Recorder) (*SDDSolver, error) {
 	if matrix.IsLaplacian(a, 1e-9) {
-		ls, err := New(matrix.GraphOf(a), p, rec)
+		ls, err := NewWithOptions(matrix.GraphOf(a), p, opt, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -147,7 +167,7 @@ func NewSDD(a *matrix.Sparse, p ChainParams, rec *wd.Recorder) (*SDDSolver, erro
 	if err != nil {
 		return nil, err
 	}
-	ls, err := New(gr.G, p, rec)
+	ls, err := NewWithOptions(gr.G, p, opt, rec)
 	if err != nil {
 		return nil, err
 	}

@@ -68,6 +68,12 @@ type SolveStats = solver.SolveStats
 // ChainParams tunes preconditioner-chain construction; see DefaultOptions.
 type ChainParams = solver.ChainParams
 
+// Options selects the solver's runtime execution policy. Workers = 0 uses
+// GOMAXPROCS goroutines in every parallel kernel, Workers = 1 forces the
+// sequential reference path; any other value is used literally. Results are
+// bitwise identical across settings (fixed reduction trees).
+type Options = solver.Options
+
 // Recorder accumulates analytic PRAM-style work/depth counters.
 type Recorder = wd.Recorder
 
@@ -85,9 +91,21 @@ func NewSolverWith(g *Graph, p ChainParams, rec *Recorder) (*Solver, error) {
 	return solver.New(g, p, rec)
 }
 
+// NewSolverWithOptions builds a Laplacian solver with explicit chain
+// parameters, execution policy and optional recorder.
+func NewSolverWithOptions(g *Graph, p ChainParams, opt Options, rec *Recorder) (*Solver, error) {
+	return solver.NewWithOptions(g, p, opt, rec)
+}
+
 // NewSDDSolver builds a solver for a general SDD matrix.
 func NewSDDSolver(a *Sparse) (*SDDSolver, error) {
 	return solver.NewSDD(a, solver.DefaultChainParams(), nil)
+}
+
+// NewSDDSolverWithOptions builds a solver for a general SDD matrix with an
+// explicit execution policy.
+func NewSDDSolverWithOptions(a *Sparse, p ChainParams, opt Options, rec *Recorder) (*SDDSolver, error) {
+	return solver.NewSDDWithOptions(a, p, opt, rec)
 }
 
 // Decomposition is a low-diameter partition of a graph's vertices.

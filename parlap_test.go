@@ -46,6 +46,33 @@ func TestPublicAPISDD(t *testing.T) {
 	}
 }
 
+func TestPublicAPIWorkersKnob(t *testing.T) {
+	g := Grid2D(24, 24)
+	rng := rand.New(rand.NewSource(7))
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	matrix.ProjectOutConstant(b)
+	var xs [][]float64
+	for _, w := range []int{1, 0, 4} {
+		s, err := NewSolverWithOptions(g, DefaultOptions(), Options{Workers: w}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, stats := s.Solve(b, 1e-8)
+		if !stats.Converged {
+			t.Fatalf("workers=%d: not converged: %+v", w, stats)
+		}
+		xs = append(xs, x)
+	}
+	for i := range xs[0] {
+		if xs[0][i] != xs[1][i] || xs[0][i] != xs[2][i] {
+			t.Fatalf("solutions diverge across Workers settings at %d", i)
+		}
+	}
+}
+
 func TestPublicAPIPartition(t *testing.T) {
 	g := Grid2D(32, 32)
 	d := Partition(g, 16, 3)
