@@ -1,0 +1,161 @@
+// Command benchsolve runs the solve-path benchmark matrix and emits a
+// machine-readable BENCH_solve.json: chain-build time, single-solve latency
+// and iteration count, and batched per-RHS latency, per topology. CI runs it
+// on every push so the bench trajectory of the solve path is recorded next
+// to the test results; compare files across commits to see the trend.
+//
+//	go run ./cmd/benchsolve -out BENCH_solve.json          # full matrix
+//	go run ./cmd/benchsolve -quick -out BENCH_solve.json   # CI-sized
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"parlap/internal/gen"
+	"parlap/internal/matrix"
+	"parlap/internal/solver"
+)
+
+var (
+	outPath = flag.String("out", "BENCH_solve.json", "output file")
+	quick   = flag.Bool("quick", false, "CI-sized instances and fewer repetitions")
+	eps     = flag.Float64("eps", 1e-6, "relative residual target")
+	batchK  = flag.Int("batch", 8, "batch width for the batched-solve row")
+	seed    = flag.Int64("seed", 1, "graph + RHS seed")
+)
+
+// result is one topology's row.
+type result struct {
+	Topology     string  `json:"topology"`
+	N            int     `json:"n"`
+	M            int     `json:"m"`
+	ChainBuildMS float64 `json:"chain_build_ms"`
+	Levels       int     `json:"levels"`
+	EdgeCounts   []int   `json:"edge_counts"`
+	SolveMS      float64 `json:"solve_ms_median"`
+	Iterations   int     `json:"iterations"`
+	Residual     float64 `json:"residual"`
+	BatchWidth   int     `json:"batch_width"`
+	BatchPerRHS  float64 `json:"batch_ms_per_rhs"`
+	BatchSpeedup float64 `json:"batch_per_rhs_speedup"`
+}
+
+type doc struct {
+	GeneratedUnix int64    `json:"generated_unix"`
+	GoMaxProcs    int      `json:"gomaxprocs"`
+	Eps           float64  `json:"eps"`
+	Quick         bool     `json:"quick"`
+	Results       []result `json:"results"`
+}
+
+func meanFreeRHS(n int, rng *rand.Rand) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	matrix.ProjectOutConstant(b)
+	return b
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+func main() {
+	flag.Parse()
+	specs := []string{"grid2d:64x64", "grid2d:128x128", "regular:4000:8", "pa:4000:4"}
+	reps := 5
+	if *quick {
+		specs = []string{"grid2d:64x64", "regular:2000:8", "pa:2000:4"}
+		reps = 3
+	}
+	out := doc{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Eps:           *eps,
+		Quick:         *quick,
+	}
+	for _, spec := range specs {
+		g, err := gen.FromSpec(spec, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsolve: %s: %v\n", spec, err)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		s, err := solver.New(g, solver.DefaultChainParams(), nil)
+		buildMS := float64(time.Since(t0).Microseconds()) / 1000
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsolve: %s: chain build: %v\n", spec, err)
+			os.Exit(1)
+		}
+		rng := rand.New(rand.NewSource(*seed + 7))
+		b := meanFreeRHS(g.N, rng)
+		var solveTimes []float64
+		var st solver.SolveStats
+		var x []float64
+		for r := 0; r < reps; r++ {
+			t0 = time.Now()
+			x, st = s.Solve(b, *eps)
+			solveTimes = append(solveTimes, float64(time.Since(t0).Microseconds())/1000)
+		}
+		res := s.Residual(x, b)
+		// Batched vs single on the SAME right-hand-side set, so the speedup
+		// isolates the chain-pass sharing (per-RHS convergence variance
+		// cancels: each column costs identical iterations either way).
+		bs := make([][]float64, *batchK)
+		for c := range bs {
+			bs[c] = meanFreeRHS(g.N, rng)
+		}
+		t0 = time.Now()
+		for _, bc := range bs {
+			_, _ = s.Solve(bc, *eps)
+		}
+		singlesMS := float64(time.Since(t0).Microseconds()) / 1000
+		t0 = time.Now()
+		_, _ = s.SolveBatch(bs, *eps)
+		batchMS := float64(time.Since(t0).Microseconds()) / 1000
+		row := result{
+			Topology:     spec,
+			N:            g.N,
+			M:            g.M(),
+			ChainBuildMS: buildMS,
+			Levels:       s.Chain.Depth(),
+			EdgeCounts:   s.Chain.EdgeCounts(),
+			SolveMS:      median(solveTimes),
+			Iterations:   st.Iterations,
+			Residual:     res,
+			BatchWidth:   *batchK,
+			BatchPerRHS:  batchMS / float64(*batchK),
+		}
+		if batchMS > 0 {
+			row.BatchSpeedup = singlesMS / batchMS
+		}
+		out.Results = append(out.Results, row)
+		fmt.Printf("%-18s n=%-6d m=%-6d build=%8.1fms solve=%8.1fms iters=%-5d residual=%.2e batch/RHS=%8.1fms (%.2fx)\n",
+			spec, g.N, g.M(), buildMS, row.SolveMS, st.Iterations, res, row.BatchPerRHS, row.BatchSpeedup)
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsolve:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsolve:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsolve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d topologies)\n", *outPath, len(out.Results))
+}

@@ -1,0 +1,79 @@
+// Command sddserver is the long-lived solver service: it keeps a bounded
+// LRU cache of built preconditioner chains keyed by a canonical graph hash
+// and serves single and batched solves over HTTP/JSON, so one expensive
+// near-linear-work chain construction is amortized over arbitrarily many
+// cheap right-hand-side solves — the paper's core economics, made into a
+// server.
+//
+// API (see internal/service):
+//
+//	POST /graphs              {"spec":"grid2d:64x64","seed":1} or {"edgelist":"0 1 1\n..."}
+//	GET  /graphs              cached graph ids, MRU first
+//	POST /graphs/{id}/solve   {"b":[...]} or {"batch":[[...],[...]]}, optional "eps"
+//	GET  /graphs/{id}/stats   chain shape, build time, cache/solve counters
+//	GET  /healthz             service-wide health and cache statistics
+//
+// Example:
+//
+//	sddserver -addr :8080 -max-graphs 32 -max-inflight 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"parlap/internal/service"
+	"parlap/internal/solver"
+)
+
+var (
+	addr        = flag.String("addr", ":8080", "listen address")
+	maxGraphs   = flag.Int("max-graphs", 16, "chain-cache capacity (LRU eviction beyond it)")
+	maxInflight = flag.Int("max-inflight", 4, "concurrently executing solves; more requests queue")
+	workers     = flag.Int("workers", 0, "global worker budget split across solve slots (0 = GOMAXPROCS)")
+	defaultEps  = flag.Float64("eps", 1e-8, "default relative residual target when a request omits eps")
+	maxBatch    = flag.Int("max-batch", 64, "maximum right-hand sides per solve request")
+	maxBuilds   = flag.Int("max-builds", 2, "concurrently executing chain builds; more registrations queue")
+	maxVerts    = flag.Int("max-vertices", 2_000_000, "reject graphs larger than this many vertices")
+	maxEdges    = flag.Int("max-edges", 16_000_000, "reject graphs larger than this many edges")
+	kappa       = flag.Float64("kappa", 0, "override the sparsifier's condition target κ (0 = default)")
+)
+
+func main() {
+	flag.Parse()
+	chain := solver.DefaultChainParams()
+	if *kappa > 0 {
+		chain.Sparsify.Kappa = *kappa
+	}
+	srv := service.New(service.Config{
+		MaxGraphs:           *maxGraphs,
+		MaxInflight:         *maxInflight,
+		Workers:             *workers,
+		DefaultEps:          *defaultEps,
+		MaxBatch:            *maxBatch,
+		MaxConcurrentBuilds: *maxBuilds,
+		MaxGraphVertices:    *maxVerts,
+		MaxGraphEdges:       *maxEdges,
+		Chain:               &chain,
+	})
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("sddserver listening on %s (cache %d graphs, %d solve slots, %d workers)",
+		*addr, *maxGraphs, *maxInflight, w)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,212 @@
+// Example service is the build-once / solve-many client for sddserver, and
+// doubles as the CI smoke check: it waits for the server, registers a graph
+// (twice, to demonstrate the chain cache), solves several right-hand sides
+// one at a time and then again as one batch, verifies the batch answers are
+// bitwise identical to the single-solve answers, and checks the reported
+// residuals against a threshold. Exit status is non-zero on any failure, so
+// it can gate CI.
+//
+// Usage (against a running server):
+//
+//	go run ./cmd/sddserver -addr 127.0.0.1:8080 &
+//	go run ./examples/service -addr http://127.0.0.1:8080 -spec grid2d:64x64 -rhs 4
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+)
+
+var (
+	addr        = flag.String("addr", "http://127.0.0.1:8080", "sddserver base URL")
+	spec        = flag.String("spec", "grid2d:64x64", "generator spec to register")
+	seed        = flag.Int64("seed", 1, "generator + RHS seed")
+	numRHS      = flag.Int("rhs", 4, "number of right-hand sides")
+	eps         = flag.Float64("eps", 1e-6, "relative residual target")
+	maxResidual = flag.Float64("max-residual", 1e-5, "fail if any reported residual exceeds this")
+	waitFor     = flag.Duration("wait", 15*time.Second, "how long to poll /healthz for server start-up")
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "service example: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func postJSON(url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&e)
+		return fmt.Errorf("%s: %s (%s)", url, r.Status, e.Error)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+func getJSON(url string, resp any) error {
+	r, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, r.Status)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+type registerResp struct {
+	ID      string  `json:"id"`
+	N       int     `json:"n"`
+	M       int     `json:"m"`
+	Cached  bool    `json:"cached"`
+	BuildMS float64 `json:"build_ms"`
+	Levels  int     `json:"levels"`
+}
+
+type solveStats struct {
+	Iterations int     `json:"iterations"`
+	Converged  bool    `json:"converged"`
+	Residual   float64 `json:"residual"`
+}
+
+type solveResp struct {
+	X          []float64    `json:"x"`
+	Stats      *solveStats  `json:"stats"`
+	Xs         [][]float64  `json:"xs"`
+	BatchStats []solveStats `json:"batch_stats"`
+}
+
+func main() {
+	flag.Parse()
+
+	// Wait for the server.
+	deadline := time.Now().Add(*waitFor)
+	for {
+		var health struct {
+			Status string `json:"status"`
+		}
+		err := getJSON(*addr+"/healthz", &health)
+		if err == nil && health.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatalf("server at %s not healthy after %s: %v", *addr, *waitFor, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Register: the first call pays for the chain build, the second hits
+	// the cache (same canonical hash).
+	var reg registerResp
+	if err := postJSON(*addr+"/graphs", map[string]any{"spec": *spec, "seed": *seed}, &reg); err != nil {
+		fatalf("register: %v", err)
+	}
+	fmt.Printf("registered %s: id=%s n=%d m=%d levels=%d build=%.1fms cached=%v\n",
+		*spec, reg.ID, reg.N, reg.M, reg.Levels, reg.BuildMS, reg.Cached)
+	var reg2 registerResp
+	if err := postJSON(*addr+"/graphs", map[string]any{"spec": *spec, "seed": *seed}, &reg2); err != nil {
+		fatalf("re-register: %v", err)
+	}
+	if !reg2.Cached || reg2.ID != reg.ID {
+		fatalf("second registration was not a cache hit (cached=%v id=%s want %s)", reg2.Cached, reg2.ID, reg.ID)
+	}
+	fmt.Printf("re-registered: cache hit, chain built exactly once\n")
+
+	// Random mean-free right-hand sides.
+	rng := rand.New(rand.NewSource(*seed + 1000))
+	bs := make([][]float64, *numRHS)
+	for c := range bs {
+		b := make([]float64, reg.N)
+		mean := 0.0
+		for i := range b {
+			b[i] = rng.NormFloat64()
+			mean += b[i]
+		}
+		mean /= float64(reg.N)
+		for i := range b {
+			b[i] -= mean
+		}
+		bs[c] = b
+	}
+
+	// Solve one at a time (build-once / solve-many: each call reuses the
+	// cached chain).
+	singles := make([][]float64, *numRHS)
+	solveURL := fmt.Sprintf("%s/graphs/%s/solve", *addr, reg.ID)
+	t0 := time.Now()
+	for c, b := range bs {
+		var resp solveResp
+		if err := postJSON(solveURL, map[string]any{"b": b, "eps": *eps}, &resp); err != nil {
+			fatalf("solve %d: %v", c, err)
+		}
+		if resp.Stats == nil || !resp.Stats.Converged {
+			fatalf("solve %d did not converge: %+v", c, resp.Stats)
+		}
+		if resp.Stats.Residual > *maxResidual {
+			fatalf("solve %d residual %.3e exceeds %g", c, resp.Stats.Residual, *maxResidual)
+		}
+		fmt.Printf("solve %d: iters=%d residual=%.3e\n", c, resp.Stats.Iterations, resp.Stats.Residual)
+		singles[c] = resp.X
+	}
+	singleDur := time.Since(t0)
+
+	// The same right-hand sides as one batched request: one preconditioner-
+	// chain pass per iteration serves the whole batch, and the answers are
+	// bitwise identical to the single solves.
+	var batch solveResp
+	t0 = time.Now()
+	if err := postJSON(solveURL, map[string]any{"batch": bs, "eps": *eps}, &batch); err != nil {
+		fatalf("batch solve: %v", err)
+	}
+	batchDur := time.Since(t0)
+	if len(batch.Xs) != *numRHS {
+		fatalf("batch returned %d solutions, want %d", len(batch.Xs), *numRHS)
+	}
+	for c := range batch.Xs {
+		if st := batch.BatchStats[c]; st.Residual > *maxResidual {
+			fatalf("batch column %d residual %.3e exceeds %g", c, st.Residual, *maxResidual)
+		}
+		if len(batch.Xs[c]) != len(singles[c]) {
+			fatalf("batch column %d length mismatch", c)
+		}
+		for i := range batch.Xs[c] {
+			if batch.Xs[c][i] != singles[c][i] {
+				fatalf("batch column %d differs from single solve at entry %d: %g vs %g",
+					c, i, batch.Xs[c][i], singles[c][i])
+			}
+		}
+	}
+	fmt.Printf("batch of %d: bitwise identical to single solves (%s batched vs %s single)\n",
+		*numRHS, batchDur.Round(time.Millisecond), singleDur.Round(time.Millisecond))
+
+	// Chain-cache accounting.
+	var stats struct {
+		CacheHits int64 `json:"cache_hits"`
+		Solves    int64 `json:"solves"`
+		RHSServed int64 `json:"rhs_served"`
+	}
+	if err := getJSON(fmt.Sprintf("%s/graphs/%s/stats", *addr, reg.ID), &stats); err != nil {
+		fatalf("stats: %v", err)
+	}
+	if stats.CacheHits < 1 {
+		fatalf("stats report %d cache hits, want >= 1", stats.CacheHits)
+	}
+	fmt.Printf("stats: cache_hits=%d solves=%d rhs_served=%d\n", stats.CacheHits, stats.Solves, stats.RHSServed)
+	fmt.Println("OK")
+}

@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 
 	"parlap/internal/graph"
@@ -59,6 +58,12 @@ type Params struct {
 	// (the quantity bounded by Lemma 4.4). This costs the paper's full
 	// O(m log² n) ball-growing work and is used only by experiment E3.
 	CountCoverage bool
+	// Workers selects the goroutine count of the decomposition's parallel
+	// kernels (frontier expansion, coverage counting, cut validation):
+	// 0 = GOMAXPROCS, 1 = the sequential reference path. Results are
+	// identical for every setting — the BFS claims resolve by atomic
+	// minimum, which is schedule-free.
+	Workers int
 }
 
 // PaperParams returns the constants exactly as in Algorithm 4.1/4.2.
@@ -181,9 +186,9 @@ func SplitGraph(g *graph.Graph, rho int, p Params, rng *rand.Rand, rec *wd.Recor
 			jitter[i] = rng.Intn(R + 1)
 		}
 		if p.CountCoverage {
-			countCoverage(g, value, centers, rt, res.Coverage)
+			countCoverage(p.Workers, g, value, centers, rt, res.Coverage)
 		}
-		claimed := jitteredBFS(g, value, ownerCenter, centers, jitter, rt, &stamp, rec)
+		claimed := jitteredBFS(p.Workers, g, value, ownerCenter, centers, jitter, rt, &stamp, rec)
 		aliveCount -= claimed
 		iterStampEnd = append(iterStampEnd, stamp)
 	}
@@ -217,8 +222,9 @@ func SplitGraph(g *graph.Graph, rho int, p Params, rng *rand.Rand, rec *wd.Recor
 // jitteredBFS runs one iteration's delayed multi-source BFS on the alive
 // subgraph (value[v] < 0). Center i activates at time jitter[i]; all growth
 // stops after time rt. stamp supplies globally unique per-level claim ids.
-// Returns the number of vertices claimed.
-func jitteredBFS(g *graph.Graph, value, ownerCenter []int32, centers, jitter []int, rt int, stamp *int32, rec *wd.Recorder) int {
+// Returns the number of vertices claimed. workers selects the frontier-
+// expansion parallelism (0 = GOMAXPROCS, 1 = sequential).
+func jitteredBFS(workers int, g *graph.Graph, value, ownerCenter []int32, centers, jitter []int, rt int, stamp *int32, rec *wd.Recorder) int {
 	// Bucket center activations by time.
 	maxJ := 0
 	for _, d := range jitter {
@@ -257,7 +263,7 @@ func jitteredBFS(g *graph.Graph, value, ownerCenter []int32, centers, jitter []i
 		}
 		levels++
 		*stamp++
-		next := expandLevel(g, value, ownerCenter, frontier, act, *stamp, &edgesSeen)
+		next := expandLevel(workers, g, value, ownerCenter, frontier, act, *stamp, &edgesSeen)
 		claimed += len(next)
 		frontier = next
 	}
@@ -270,7 +276,7 @@ func jitteredBFS(g *graph.Graph, value, ownerCenter []int32, centers, jitter []i
 // CAS on value from -1 to the level's unique stamp; the owner is the atomic
 // minimum over all same-level candidates, implementing the lexicographic
 // (arrival time, center id) rule.
-func expandLevel(g *graph.Graph, value, ownerCenter []int32, frontier, act []int, stamp int32, edgesSeen *int64) []int {
+func expandLevel(workers int, g *graph.Graph, value, ownerCenter []int32, frontier, act []int, stamp int32, edgesSeen *int64) []int {
 	// candidate claiming helper shared by both phases.
 	claim := func(v int, owner int32, local *[]int) {
 		if atomic.LoadInt32(&value[v]) < 0 &&
@@ -306,7 +312,11 @@ func expandLevel(g *graph.Graph, value, ownerCenter []int32, frontier, act []int
 		totalDeg += g.Off[u+1] - g.Off[u]
 	}
 	*edgesSeen += int64(totalDeg)
-	if totalDeg < par.SequentialThreshold {
+	p := workers
+	if p <= 0 {
+		p = par.Workers()
+	}
+	if p == 1 || totalDeg < par.SequentialThreshold {
 		for _, u := range frontier {
 			owner := ownerCenter[u]
 			for i := g.Off[u]; i < g.Off[u+1]; i++ {
@@ -319,38 +329,35 @@ func expandLevel(g *graph.Graph, value, ownerCenter []int32, frontier, act []int
 		}
 		return next
 	}
-	numChunks := par.Workers() * 4
+	// Bounded-worker chunked expansion (par.TasksW caps concurrency at the
+	// workers knob and propagates worker panics; chunk-indexed locals keep
+	// the merge order fixed).
+	numChunks := p * 4
 	if numChunks > nf {
 		numChunks = nf
 	}
 	chunk := (nf + numChunks - 1) / numChunks
 	numChunks = (nf + chunk - 1) / chunk
 	locals := make([][]int, numChunks)
-	var wg sync.WaitGroup
-	for c := 0; c < numChunks; c++ {
+	par.TasksW(workers, numChunks, func(c int) {
 		lo, hi := c*chunk, (c+1)*chunk
 		if hi > nf {
 			hi = nf
 		}
-		wg.Add(1)
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			var local []int
-			for fi := lo; fi < hi; fi++ {
-				u := frontier[fi]
-				owner := ownerCenter[u]
-				for i := g.Off[u]; i < g.Off[u+1]; i++ {
-					v := g.Adj[i]
-					if v == u {
-						continue
-					}
-					claim(v, owner, &local)
+		var local []int
+		for fi := lo; fi < hi; fi++ {
+			u := frontier[fi]
+			owner := ownerCenter[u]
+			for i := g.Off[u]; i < g.Off[u+1]; i++ {
+				v := g.Adj[i]
+				if v == u {
+					continue
 				}
+				claim(v, owner, &local)
 			}
-			locals[c] = local
-		}(c, lo, hi)
-	}
-	wg.Wait()
+		}
+		locals[c] = local
+	})
 	for _, l := range locals {
 		next = append(next, l...)
 	}
@@ -360,8 +367,8 @@ func expandLevel(g *graph.Graph, value, ownerCenter []int32, frontier, act []int
 // countCoverage increments cover[v] for every alive vertex v within hop
 // distance rt of each center, on the alive subgraph — the (s,t) pair count
 // of Lemma 4.4. Runs one bounded BFS per center, in parallel across centers.
-func countCoverage(g *graph.Graph, value []int32, centers []int, rt int, cover []int32) {
-	par.For(len(centers), func(ci int) {
+func countCoverage(workers int, g *graph.Graph, value []int32, centers []int, rt int, cover []int32) {
+	par.ForW(workers, len(centers), func(ci int) {
 		s := centers[ci]
 		if value[s] >= 0 {
 			return // dead center: its ball is empty by convention
@@ -400,13 +407,22 @@ type CutStats struct {
 // CountCut computes cut statistics for a decomposition. class[i] gives the
 // class of edge i in [0, k); pass nil for single-class graphs.
 func CountCut(g *graph.Graph, comp []int32, class []int, k int) CutStats {
+	return CountCutW(0, g, comp, class, k)
+}
+
+// CountCutW is CountCut with an explicit worker count.
+func CountCutW(workers int, g *graph.Graph, comp []int32, class []int, k int) CutStats {
 	if k < 1 {
 		k = 1
 	}
 	st := CutStats{PerClass: make([]int, k)}
 	m := len(g.Edges)
-	// Parallel chunked count.
-	chunks := par.Workers() * 4
+	// Parallel chunked count (integer sums: order-independent).
+	p := workers
+	if p <= 0 {
+		p = par.Workers()
+	}
+	chunks := p * 4
 	if chunks > m {
 		chunks = m
 	}
@@ -417,7 +433,7 @@ func CountCut(g *graph.Graph, comp []int32, class []int, k int) CutStats {
 	numChunks := (m + chunk - 1) / chunk
 	locals := make([][]int, numChunks)
 	totals := make([]int, numChunks)
-	par.For(numChunks, func(c int) {
+	par.ForW(workers, numChunks, func(c int) {
 		lo, hi := c*chunk, (c+1)*chunk
 		if hi > m {
 			hi = m
@@ -487,7 +503,7 @@ func Partition(g *graph.Graph, class []int, k int, rho int, p Params, rng *rand.
 	bestRatio := math.Inf(1)
 	for trial := 1; trial <= maxRetries; trial++ {
 		res := SplitGraph(g, rho, p, rng, rec)
-		cut := CountCut(g, res.Comp, class, k)
+		cut := CountCutW(p.Workers, g, res.Comp, class, k)
 		worst := 0.0
 		for i := 0; i < k; i++ {
 			if classSize[i] == 0 {

@@ -68,21 +68,30 @@ func (g *Graph) Validate() error {
 
 // FromEdges builds a Graph (with CSR) from an edge list over n vertices.
 // The edge slice is retained, not copied.
-func FromEdges(n int, edges []Edge) *Graph {
+func FromEdges(n int, edges []Edge) *Graph { return FromEdgesW(0, n, edges) }
+
+// FromEdgesW is FromEdges with an explicit worker count for the CSR build
+// (0 = GOMAXPROCS, 1 = sequential) — the hook the solver uses to keep
+// construction single-goroutine end-to-end under Options{Workers: 1}.
+func FromEdgesW(workers, n int, edges []Edge) *Graph {
 	g := &Graph{N: n, Edges: edges}
-	g.buildCSR()
+	g.buildCSRW(workers)
 	return g
 }
 
-// buildCSR (re)builds the CSR arrays from g.Edges using a parallel
+// buildCSRW (re)builds the CSR arrays from g.Edges using a parallel
 // count + prefix-sum + scatter.
-func (g *Graph) buildCSR() {
+func (g *Graph) buildCSRW(workers int) {
 	n, m := g.N, len(g.Edges)
 	deg := make([]int, n)
+	p := workers
+	if p <= 0 {
+		p = par.Workers()
+	}
 	// Counting is a scatter with potential conflicts; for determinism and
 	// simplicity count sequentially when small, else use per-chunk local
-	// counts merged once.
-	if m < par.SequentialThreshold {
+	// counts merged once (integer sums: order-independent).
+	if p == 1 || m < par.SequentialThreshold {
 		for _, e := range g.Edges {
 			deg[e.U]++
 			if e.U != e.V {
@@ -92,14 +101,14 @@ func (g *Graph) buildCSR() {
 			}
 		}
 	} else {
-		p := par.Workers() * 4
-		if p > m {
-			p = m
+		chunks := p * 4
+		if chunks > m {
+			chunks = m
 		}
-		chunk := (m + p - 1) / p
+		chunk := (m + chunks - 1) / chunks
 		numChunks := (m + chunk - 1) / chunk
 		local := make([][]int, numChunks)
-		par.For(numChunks, func(c int) {
+		par.ForW(workers, numChunks, func(c int) {
 			lo, hi := c*chunk, (c+1)*chunk
 			if hi > m {
 				hi = m
@@ -111,7 +120,7 @@ func (g *Graph) buildCSR() {
 			}
 			local[c] = l
 		})
-		par.For(n, func(v int) {
+		par.ForW(workers, n, func(v int) {
 			d := 0
 			for c := 0; c < numChunks; c++ {
 				d += local[c][v]
@@ -119,7 +128,7 @@ func (g *Graph) buildCSR() {
 			deg[v] = d
 		})
 	}
-	g.Off = par.PrefixSumInt(deg)
+	g.Off = par.PrefixSumIntW(workers, deg)
 	g.Adj = make([]int, 2*m)
 	g.Wt = make([]float64, 2*m)
 	g.EdgeID = make([]int, 2*m)
@@ -189,6 +198,12 @@ func (g *Graph) InducedSubgraph(keep func(v int) bool) (sub *Graph, vmap []int, 
 // as AKPW iteration requires. origEdge maps contracted edge index to the
 // original edge index in g.
 func (g *Graph) Contract(comp []int, numComp int) (contracted *Graph, origEdge []int) {
+	return g.ContractW(0, comp, numComp)
+}
+
+// ContractW is Contract with an explicit worker count for the contracted
+// graph's CSR build.
+func (g *Graph) ContractW(workers int, comp []int, numComp int) (contracted *Graph, origEdge []int) {
 	var edges []Edge
 	for id, e := range g.Edges {
 		cu, cv := comp[e.U], comp[e.V]
@@ -198,7 +213,7 @@ func (g *Graph) Contract(comp []int, numComp int) (contracted *Graph, origEdge [
 		edges = append(edges, Edge{cu, cv, e.W})
 		origEdge = append(origEdge, id)
 	}
-	return FromEdges(numComp, edges), origEdge
+	return FromEdgesW(workers, numComp, edges), origEdge
 }
 
 // ConnectedComponents labels each vertex with a component id in [0, count)

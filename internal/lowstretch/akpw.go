@@ -44,6 +44,12 @@ type Params struct {
 	// MaxExtraIters bounds the tail iterations after the last weight class
 	// enters (safety net; the expected tail is τ = log_Y(n²) iterations).
 	MaxExtraIters int
+	// Workers selects the goroutine count of the construction's parallel
+	// loops (bucketing, packing, contraction relabeling, per-segment
+	// fan-out): 0 = GOMAXPROCS, 1 = the sequential reference path. It does
+	// NOT implicitly override Decomp.Workers — callers wanting a uniform
+	// policy set both (the solver boundary does).
+	Workers int
 }
 
 // tau returns the class-emptying horizon τ = ⌈3·log n / log y⌉ (paper §5.1).
@@ -114,36 +120,51 @@ func classOf(w, wmin, z float64) int {
 
 // akpwState is the contracted multigraph threaded through iterations.
 type akpwState struct {
-	cur    *graph.Graph
-	origID []int // cur edge -> original edge id
-	class  []int // cur edge -> weight class (1-based; 0 = generic bucket)
+	cur     *graph.Graph
+	origID  []int // cur edge -> original edge id
+	class   []int // cur edge -> weight class (1-based; 0 = generic bucket)
+	workers int   // goroutine count for this construction's parallel loops
 }
 
 // newAKPWState buckets g's edges by length class. The minimum-weight scan
 // and the per-edge class assignment are parallel (min is exactly
 // associative, so the fixed reduction tree gives the sequential answer).
-func newAKPWState(g *graph.Graph, z float64) (*akpwState, int) {
+func newAKPWState(workers int, g *graph.Graph, z float64) (*akpwState, int) {
 	m := len(g.Edges)
-	wmin := par.MinFloat64(m, math.Inf(1), func(i int) float64 {
+	wmin := par.ReduceFloat64W(workers, m, math.Inf(1), func(i int) float64 {
 		if w := g.Edges[i].W; w > 0 {
 			return w
 		}
 		return math.Inf(1)
+	}, func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
 	})
 	if math.IsInf(wmin, 1) {
 		wmin = 1
 	}
 	st := &akpwState{
-		cur:    g,
-		origID: make([]int, m),
-		class:  make([]int, m),
+		cur:     g,
+		origID:  make([]int, m),
+		class:   make([]int, m),
+		workers: workers,
 	}
-	par.For(m, func(i int) {
+	par.ForW(workers, m, func(i int) {
 		st.origID[i] = i
 		st.class[i] = classOf(g.Edges[i].W, wmin, z)
 	})
-	maxClass := par.MaxInt(m, 1, func(i int) int { return st.class[i] })
+	maxClass := par.ReduceIntW(workers, m, 1, func(i int) int { return st.class[i] }, maxInt)
 	return st, maxClass
+}
+
+// maxInt is the exactly-associative max combiner for the reductions above.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // iterate performs one AKPW iteration: partition the subgraph of active
@@ -153,16 +174,17 @@ func newAKPWState(g *graph.Graph, z float64) (*akpwState, int) {
 func (st *akpwState) iterate(rho int, active func(curEdge int) bool, classLabel func(curEdge int) int, k int,
 	p decomp.Params, rng *rand.Rand, rec *wd.Recorder, tree *[]int) int {
 	cur := st.cur
+	w := st.workers
 	// Active subgraph over the same vertex set: a parallel pack of the
 	// participating edges (the per-iteration edge-bucketing hot loop).
-	actCur := par.FilterIndex(len(cur.Edges), active) // active edge -> cur edge id
+	actCur := par.FilterIndexW(w, len(cur.Edges), active) // active edge -> cur edge id
 	actEdges := make([]graph.Edge, len(actCur))
-	par.For(len(actCur), func(i int) { actEdges[i] = cur.Edges[actCur[i]] })
-	actG := graph.FromEdges(cur.N, actEdges)
+	par.ForW(w, len(actCur), func(i int) { actEdges[i] = cur.Edges[actCur[i]] })
+	actG := graph.FromEdgesW(w, cur.N, actEdges)
 	var class []int
 	if k > 1 {
 		class = make([]int, len(actEdges))
-		par.For(len(class), func(i int) { class[i] = classLabel(actCur[i]) })
+		par.ForW(w, len(class), func(i int) { class[i] = classLabel(actCur[i]) })
 	}
 	pr, _ := decomp.Partition(actG, class, k, rho, p, rng, rec)
 	// BFS trees over the active subgraph, mapped to original ids.
@@ -173,11 +195,11 @@ func (st *akpwState) iterate(rho int, active func(curEdge int) bool, classLabel 
 	// the partition's components. Label copies and the surviving-edge
 	// relabeling are embarrassingly parallel.
 	comp := make([]int, cur.N)
-	par.For(cur.N, func(v int) { comp[v] = int(pr.Comp[v]) })
-	contracted, keptCur := cur.Contract(comp, pr.NumComp)
+	par.ForW(w, cur.N, func(v int) { comp[v] = int(pr.Comp[v]) })
+	contracted, keptCur := cur.ContractW(w, comp, pr.NumComp)
 	newOrig := make([]int, len(keptCur))
 	newClass := make([]int, len(keptCur))
-	par.For(len(keptCur), func(i int) {
+	par.ForW(w, len(keptCur), func(i int) {
 		newOrig[i] = st.origID[keptCur[i]]
 		newClass[i] = st.class[keptCur[i]]
 	})
@@ -196,7 +218,7 @@ func (st *akpwState) iterate(rho int, active func(curEdge int) bool, classLabel 
 // spanning tree when g is connected). Stats captures per-iteration
 // measurements for the experiment harness.
 func AKPW(g *graph.Graph, p Params, rng *rand.Rand, rec *wd.Recorder) ([]int, *Stats) {
-	st, maxClass := newAKPWState(g, p.Z)
+	st, maxClass := newAKPWState(p.Workers, g, p.Z)
 	stats := &Stats{MaxClass: maxClass}
 	rho := int(p.Z / 4)
 	if rho < 1 {

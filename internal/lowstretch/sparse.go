@@ -52,7 +52,7 @@ func (s *Subgraph) Graph(g *graph.Graph) *graph.Graph {
 // is 1). The result is an ultra-sparse subgraph rather than a tree — the
 // form the parallel solver needs (Lemma 6.2).
 func SparseAKPW(g *graph.Graph, p Params, rng *rand.Rand, rec *wd.Recorder) (*Subgraph, *Stats) {
-	st, maxClass := newAKPWState(g, p.Z)
+	st, maxClass := newAKPWState(p.Workers, g, p.Z)
 	stats := &Stats{MaxClass: maxClass}
 	rho := int(p.Z / 4)
 	if rho < 1 {
@@ -288,7 +288,7 @@ func LSSubgraph(g *graph.Graph, p Params, rng *rand.Rand, rec *wd.Recorder) (*Su
 				edges = append(edges, graph.Edge{U: cu, V: cv, W: e.W})
 				orig = append(orig, id)
 			}
-			segG := graph.FromEdges(numSup, edges)
+			segG := graph.FromEdgesW(p.Workers, numSup, edges)
 			segRecs[s] = &wd.Recorder{}
 			srng := rand.New(rand.NewSource(segSeeds[s]))
 			sub, _ := SparseAKPW(segG, p, srng, segRecs[s])
@@ -296,7 +296,10 @@ func LSSubgraph(g *graph.Graph, p Params, rng *rand.Rand, rec *wd.Recorder) (*Su
 			segOrig[s] = orig
 		}
 	}
-	par.Do(fns...)
+	// Segments fan out on the same worker budget as everything else;
+	// Workers:1 runs them sequentially in index order (each segment has its
+	// own rng stream, so the results are schedule-free either way).
+	par.DoW(p.Workers, fns...)
 	// Merge. Map segment-local edge ids back through orig.
 	stats := &Stats{}
 	var tree, extra []int

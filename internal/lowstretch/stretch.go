@@ -162,10 +162,15 @@ func (ti *TreeIndex) Dist(u, v int) float64 {
 // the spanning forest treeEdges: str(e) = d_T(u,v)/w(e). Edges across
 // forest components (impossible for spanning forests of g) contribute +Inf.
 func TreeStretch(g *graph.Graph, treeEdges []int) ([]float64, StretchStats) {
+	return TreeStretchW(0, g, treeEdges)
+}
+
+// TreeStretchW is TreeStretch with an explicit worker count.
+func TreeStretchW(workers int, g *graph.Graph, treeEdges []int) ([]float64, StretchStats) {
 	ti := NewTreeIndex(g, treeEdges)
 	m := len(g.Edges)
 	str := make([]float64, m)
-	par.ForChunked(m, func(lo, hi int) {
+	par.ForChunkedW(workers, m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := g.Edges[i]
 			if e.W <= 0 {
@@ -175,7 +180,7 @@ func TreeStretch(g *graph.Graph, treeEdges []int) ([]float64, StretchStats) {
 			str[i] = ti.Dist(e.U, e.V) / e.W
 		}
 	})
-	return str, summarize(str)
+	return str, summarizeW(workers, str)
 }
 
 // SubgraphStretchExact computes the exact stretch of every edge of g with
@@ -236,10 +241,12 @@ func subgraphOf(g *graph.Graph, sub []int) *graph.Graph {
 	return graph.FromEdges(g.N, edges)
 }
 
-func summarize(str []float64) StretchStats {
+func summarize(str []float64) StretchStats { return summarizeW(0, str) }
+
+func summarizeW(workers int, str []float64) StretchStats {
 	st := StretchStats{Edges: len(str)}
-	st.Total = par.SumFloat64(len(str), func(i int) float64 { return str[i] })
-	st.Max = par.ReduceFloat64(len(str), 0, func(i int) float64 { return str[i] },
+	st.Total = par.SumFloat64W(workers, len(str), func(i int) float64 { return str[i] })
+	st.Max = par.ReduceFloat64W(workers, len(str), 0, func(i int) float64 { return str[i] },
 		math.Max)
 	if len(str) > 0 {
 		st.Average = st.Total / float64(len(str))

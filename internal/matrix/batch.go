@@ -1,0 +1,163 @@
+package matrix
+
+import (
+	"math"
+
+	"parlap/internal/par"
+)
+
+// Batched (multi-right-hand-side) vector kernels. Each operates on k column
+// vectors at once and shares the *index traversal* — the CSR walk, the
+// elimination-log replay upstream in the solver, the chunk schedule — across
+// columns, while keeping every column's floating-point operations in exactly
+// the order of the corresponding single-vector kernel. Column c of every
+// batch kernel is therefore bitwise identical to the plain kernel applied to
+// column c alone; the batch forms buy memory-traffic amortization (one pass
+// over A's values serves k RHS), never different arithmetic.
+
+// MulVecBatchW computes ys[c] = A·xs[c] for every column c, traversing the
+// CSR structure once per row. Column results are bitwise identical to
+// MulVecW on each column.
+func (a *Sparse) MulVecBatchW(workers int, xs, ys [][]float64) {
+	k := len(xs)
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		a.MulVecW(workers, xs[0], ys[0])
+		return
+	}
+	par.ForChunkedW(workers, a.N, func(lo, hi int) {
+		acc := make([]float64, k)
+		for r := lo; r < hi; r++ {
+			for c := range acc {
+				acc[c] = 0
+			}
+			for i := a.Off[r]; i < a.Off[r+1]; i++ {
+				v, col := a.Val[i], a.Col[i]
+				for c := 0; c < k; c++ {
+					acc[c] += v * xs[c][col]
+				}
+			}
+			for c := 0; c < k; c++ {
+				ys[c][r] = acc[c]
+			}
+		}
+	})
+}
+
+// DotBatchW returns out[c] = xs[c]·ys[c], one pass over the index space.
+// Each column folds through the same fixed-grain tree as DotW, so out[c] is
+// bitwise identical to DotW(workers, xs[c], ys[c]).
+func DotBatchW(workers int, xs, ys [][]float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	n := len(xs[0])
+	return par.SumFloat64BatchW(workers, n, len(xs), func(i, c int) float64 {
+		return xs[c][i] * ys[c][i]
+	})
+}
+
+// Norm2BatchW returns the Euclidean norm of every column.
+func Norm2BatchW(workers int, xs [][]float64) []float64 {
+	out := DotBatchW(workers, xs, xs)
+	for c := range out {
+		out[c] = math.Sqrt(out[c])
+	}
+	return out
+}
+
+// AxpyBatchW computes dsts[c] = alphas[c]·xs[c] + ys[c] elementwise (dsts[c]
+// may alias xs[c] or ys[c]).
+func AxpyBatchW(workers int, dsts [][]float64, alphas []float64, xs, ys [][]float64) {
+	k := len(dsts)
+	if k == 0 {
+		return
+	}
+	par.ForChunkedW(workers, len(dsts[0]), func(lo, hi int) {
+		for c := 0; c < k; c++ {
+			a, d, x, y := alphas[c], dsts[c], xs[c], ys[c]
+			for i := lo; i < hi; i++ {
+				d[i] = a*x[i] + y[i]
+			}
+		}
+	})
+}
+
+// SubIntoBatchW computes dsts[c] = xs[c] − ys[c].
+func SubIntoBatchW(workers int, dsts, xs, ys [][]float64) {
+	k := len(dsts)
+	if k == 0 {
+		return
+	}
+	par.ForChunkedW(workers, len(dsts[0]), func(lo, hi int) {
+		for c := 0; c < k; c++ {
+			d, x, y := dsts[c], xs[c], ys[c]
+			for i := lo; i < hi; i++ {
+				d[i] = x[i] - y[i]
+			}
+		}
+	})
+}
+
+// CopyVecBatch returns a fresh deep copy of every column.
+func CopyVecBatch(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for c, x := range xs {
+		out[c] = CopyVec(x)
+	}
+	return out
+}
+
+// ProjectOutConstantMaskedBatchW subtracts each column's per-component mean
+// in place; column behaviour is bitwise identical to
+// ProjectOutConstantMaskedW on that column.
+func ProjectOutConstantMaskedBatchW(workers int, xs [][]float64, comp []int, numComp int) {
+	k := len(xs)
+	if k == 0 {
+		return
+	}
+	n := len(xs[0])
+	if numComp == 1 {
+		mus := par.SumFloat64BatchW(workers, n, k, func(i, c int) float64 { return xs[c][i] })
+		for c := range mus {
+			mus[c] /= float64(n)
+		}
+		par.ForChunkedW(workers, n, func(lo, hi int) {
+			for c := 0; c < k; c++ {
+				mu, x := mus[c], xs[c]
+				for i := lo; i < hi; i++ {
+					x[i] -= mu
+				}
+			}
+		})
+		return
+	}
+	// Multi-component accumulation stays sequential per column, in the same
+	// index order as the single-vector kernel.
+	sums := make([][]float64, k)
+	for c := range sums {
+		sum := make([]float64, numComp)
+		cnt := make([]float64, numComp)
+		x := xs[c]
+		for i, cc := range comp {
+			sum[cc] += x[i]
+			cnt[cc]++
+		}
+		for j := range sum {
+			if cnt[j] > 0 {
+				sum[j] /= cnt[j]
+			}
+		}
+		sums[c] = sum
+	}
+	par.ForChunkedW(workers, n, func(lo, hi int) {
+		for c := 0; c < k; c++ {
+			x, sum := xs[c], sums[c]
+			for i := lo; i < hi; i++ {
+				x[i] -= sum[comp[i]]
+			}
+		}
+	})
+}

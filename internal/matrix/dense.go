@@ -23,6 +23,12 @@ type DenseFactor struct {
 // beyond roundoff) pivot is hit, which for our use signals a singular
 // grounded Laplacian.
 func NewDenseFactor(n int, a []float64) (*DenseFactor, error) {
+	return NewDenseFactorW(0, n, a)
+}
+
+// NewDenseFactorW is NewDenseFactor with an explicit worker count for the
+// column-update sweeps (0 = GOMAXPROCS, 1 = sequential).
+func NewDenseFactorW(workers, n int, a []float64) (*DenseFactor, error) {
 	if len(a) != n*n {
 		return nil, fmt.Errorf("matrix: dense factor needs %d entries, got %d", n*n, len(a))
 	}
@@ -48,7 +54,7 @@ func NewDenseFactor(n int, a []float64) (*DenseFactor, error) {
 			return nil, fmt.Errorf("matrix: non-PSD pivot %g at column %d", s, j)
 		}
 		// Column update, parallel over rows below j.
-		par.ForChunked(n-j-1, func(lo, hi int) {
+		par.ForChunkedW(workers, n-j-1, func(lo, hi int) {
 			for off := lo; off < hi; off++ {
 				i := j + 1 + off
 				s := l[i*n+j]
@@ -95,6 +101,55 @@ func (f *DenseFactor) Solve(b []float64) []float64 {
 	return x
 }
 
+// SolveBatch solves A x = b for every column of bs with one traversal of
+// the factor's triangle per substitution sweep. Column c of the result is
+// bitwise identical to Solve(bs[c]): each column performs the same
+// subtractions on the same values in the same order — only the L-entry loads
+// are shared.
+func (f *DenseFactor) SolveBatch(bs [][]float64) [][]float64 {
+	k := len(bs)
+	if k == 1 {
+		return [][]float64{f.Solve(bs[0])}
+	}
+	n := f.n
+	xs := make([][]float64, k)
+	for c := range xs {
+		xs[c] = CopyVec(bs[c])
+	}
+	// Forward solve L y = b.
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			l := f.l[i*n+j]
+			for c := 0; c < k; c++ {
+				xs[c][i] -= l * xs[c][j]
+			}
+		}
+	}
+	// Diagonal solve D z = y.
+	for i := 0; i < n; i++ {
+		if math.IsInf(f.d[i], 1) {
+			for c := 0; c < k; c++ {
+				xs[c][i] = 0
+			}
+		} else {
+			d := f.d[i]
+			for c := 0; c < k; c++ {
+				xs[c][i] /= d
+			}
+		}
+	}
+	// Backward solve Lᵀ x = z.
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			l := f.l[j*n+i]
+			for c := 0; c < k; c++ {
+				xs[c][i] -= l * xs[c][j]
+			}
+		}
+	}
+	return xs
+}
+
 // LaplacianFactor is a dense pseudo-inverse applier for a Laplacian: it
 // grounds the last vertex of each connected component and factors the
 // remaining principal submatrix, then solves and re-centers per component.
@@ -112,6 +167,12 @@ type LaplacianFactor struct {
 // pseudo-inverse solver. comp must label a's connected components (as from
 // graph.ConnectedComponents on the underlying graph).
 func NewLaplacianFactor(a *Sparse, comp []int, numComp int) (*LaplacianFactor, error) {
+	return NewLaplacianFactorW(0, a, comp, numComp)
+}
+
+// NewLaplacianFactorW is NewLaplacianFactor with an explicit worker count
+// for the factorization sweeps.
+func NewLaplacianFactorW(workers int, a *Sparse, comp []int, numComp int) (*LaplacianFactor, error) {
 	n := a.N
 	grounded := make([]int, numComp)
 	for c := range grounded {
@@ -145,7 +206,7 @@ func NewLaplacianFactor(a *Sparse, comp []int, numComp int) (*LaplacianFactor, e
 			}
 		}
 	}
-	f, err := NewDenseFactor(k, dense)
+	f, err := NewDenseFactorW(workers, k, dense)
 	if err != nil {
 		return nil, err
 	}
@@ -159,9 +220,14 @@ func NewLaplacianFactor(a *Sparse, comp []int, numComp int) (*LaplacianFactor, e
 // is first projected per component (mean removed), the grounded system is
 // solved, and the result is re-centered so each component of x sums to zero
 // (the canonical pseudo-inverse representative).
-func (lf *LaplacianFactor) Solve(b []float64) []float64 {
+func (lf *LaplacianFactor) Solve(b []float64) []float64 { return lf.SolveW(0, b) }
+
+// SolveW is Solve with an explicit worker count for the projection passes
+// (the substitution sweeps are inherently sequential). Results are bitwise
+// identical for every workers value.
+func (lf *LaplacianFactor) SolveW(workers int, b []float64) []float64 {
 	rb := CopyVec(b)
-	ProjectOutConstantMasked(rb, lf.comp, lf.numComp)
+	ProjectOutConstantMaskedW(workers, rb, lf.comp, lf.numComp)
 	gb := make([]float64, len(lf.keep))
 	for i, v := range lf.keep {
 		gb[i] = rb[v]
@@ -172,6 +238,43 @@ func (lf *LaplacianFactor) Solve(b []float64) []float64 {
 		x[v] = gx[i]
 	}
 	// Grounded vertices already hold 0; re-center per component.
-	ProjectOutConstantMasked(x, lf.comp, lf.numComp)
+	ProjectOutConstantMaskedW(workers, x, lf.comp, lf.numComp)
 	return x
+}
+
+// SolveBatch applies the pseudo-inverse to every column of bs, sharing the
+// dense factor traversal across columns. Column c is bitwise identical to
+// Solve(bs[c]).
+func (lf *LaplacianFactor) SolveBatch(bs [][]float64) [][]float64 {
+	return lf.SolveBatchW(0, bs)
+}
+
+// SolveBatchW is SolveBatch with an explicit worker count for the
+// projection passes.
+func (lf *LaplacianFactor) SolveBatchW(workers int, bs [][]float64) [][]float64 {
+	k := len(bs)
+	if k == 1 {
+		return [][]float64{lf.SolveW(workers, bs[0])}
+	}
+	rbs := CopyVecBatch(bs)
+	ProjectOutConstantMaskedBatchW(workers, rbs, lf.comp, lf.numComp)
+	gbs := make([][]float64, k)
+	for c := range gbs {
+		gb := make([]float64, len(lf.keep))
+		for i, v := range lf.keep {
+			gb[i] = rbs[c][v]
+		}
+		gbs[c] = gb
+	}
+	gxs := lf.factor.SolveBatch(gbs)
+	xs := make([][]float64, k)
+	for c := range xs {
+		x := make([]float64, lf.n)
+		for i, v := range lf.keep {
+			x[v] = gxs[c][i]
+		}
+		xs[c] = x
+	}
+	ProjectOutConstantMaskedBatchW(workers, xs, lf.comp, lf.numComp)
+	return xs
 }

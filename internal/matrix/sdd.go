@@ -28,6 +28,12 @@ type GrembanReduction struct {
 // NewGrembanReduction validates that a is SDD and constructs the double
 // cover. Entries smaller than dropTol (relative) are treated as zero.
 func NewGrembanReduction(a *Sparse, dropTol float64) (*GrembanReduction, error) {
+	return NewGrembanReductionW(0, a, dropTol)
+}
+
+// NewGrembanReductionW is NewGrembanReduction with an explicit worker count
+// for the double cover's CSR and Laplacian builds.
+func NewGrembanReductionW(workers int, a *Sparse, dropTol float64) (*GrembanReduction, error) {
 	if !a.IsSDD(1e-9) {
 		return nil, fmt.Errorf("matrix: input is not symmetric diagonally dominant")
 	}
@@ -73,8 +79,8 @@ func NewGrembanReduction(a *Sparse, dropTol float64) (*GrembanReduction, error) 
 			edges = append(edges, graph.Edge{U: i, V: i + n, W: slack[i] / 2})
 		}
 	}
-	g := graph.FromEdges(2*n, edges)
-	return &GrembanReduction{N: n, G: g, L: LaplacianOf(g)}, nil
+	g := graph.FromEdgesW(workers, 2*n, edges)
+	return &GrembanReduction{N: n, G: g, L: LaplacianOfW(workers, g)}, nil
 }
 
 // Lift maps the SDD right-hand side b to the double-cover right-hand side

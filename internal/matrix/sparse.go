@@ -158,7 +158,10 @@ func LaplacianOfW(workers int, g *graph.Graph) *Sparse {
 // GraphOf recovers the weighted graph from a Laplacian-structured matrix
 // (strictly negative off-diagonals become edges). It inverts LaplacianOf up
 // to parallel-edge merging.
-func GraphOf(a *Sparse) *graph.Graph {
+func GraphOf(a *Sparse) *graph.Graph { return GraphOfW(0, a) }
+
+// GraphOfW is GraphOf with an explicit worker count for the CSR build.
+func GraphOfW(workers int, a *Sparse) *graph.Graph {
 	var edges []graph.Edge
 	for r := 0; r < a.N; r++ {
 		for i := a.Off[r]; i < a.Off[r+1]; i++ {
@@ -168,7 +171,7 @@ func GraphOf(a *Sparse) *graph.Graph {
 			}
 		}
 	}
-	return graph.FromEdges(a.N, edges)
+	return graph.FromEdgesW(workers, a.N, edges)
 }
 
 // MulVec computes y = A·x in parallel over rows.

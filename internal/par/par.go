@@ -156,6 +156,17 @@ func ForChunkedW(workers, n int, body func(lo, hi int)) {
 	})
 }
 
+// TasksW runs task(c) for every c in [0, numTasks) on up to workers
+// goroutines (0 = GOMAXPROCS, 1 = sequential), pulling task indices from a
+// shared counter for load balance. Unlike ForW — whose sequential cutoff
+// treats n as the element count — the task count here IS the parallel
+// grain: use it when tasks are few but individually large (per-chunk BFS
+// expansion, chunked scatter with per-task locals). Worker panics propagate
+// to the caller like every other primitive.
+func TasksW(workers, numTasks int, task func(c int)) {
+	runTasks(resolve(workers), numTasks, task)
+}
+
 // Do runs the given functions concurrently and waits for all of them.
 func Do(fns ...func()) { DoW(0, fns...) }
 
@@ -214,6 +225,46 @@ func SumFloat64(n int, f func(i int) float64) float64 { return SumFloat64W(0, n,
 // SumFloat64W is SumFloat64 with an explicit worker count.
 func SumFloat64W(workers, n int, f func(i int) float64) float64 {
 	return ReduceFloat64W(workers, n, 0, f, func(a, b float64) float64 { return a + b })
+}
+
+// SumFloat64BatchW computes k sums in one pass over the index space:
+// out[c] = Σ_{i<n} f(i, c). Each column folds through exactly the same
+// fixed-grain chunk tree as SumFloat64W, so out[c] is bitwise identical to
+// SumFloat64W(workers, n, func(i int) float64 { return f(i, c) }) — the
+// batch form only shares the index traversal (and whatever memory traffic f
+// amortizes across columns), never the arithmetic.
+func SumFloat64BatchW(workers, n, k int, f func(i, c int) float64) []float64 {
+	out := make([]float64, k)
+	if n <= 0 || k == 0 {
+		return out
+	}
+	numChunks := grainChunks(n)
+	if numChunks == 1 {
+		for i := 0; i < n; i++ {
+			for c := 0; c < k; c++ {
+				out[c] += f(i, c)
+			}
+		}
+		return out
+	}
+	partial := make([]float64, numChunks*k)
+	runTasks(resolve(workers), numChunks, func(ch int) {
+		lo, hi := grainBounds(ch, n)
+		acc := partial[ch*k : (ch+1)*k]
+		for i := lo; i < hi; i++ {
+			for c := 0; c < k; c++ {
+				acc[c] += f(i, c)
+			}
+		}
+	})
+	copy(out, partial[:k])
+	for ch := 1; ch < numChunks; ch++ {
+		p := partial[ch*k : (ch+1)*k]
+		for c := 0; c < k; c++ {
+			out[c] += p[c]
+		}
+	}
+	return out
 }
 
 // MinFloat64 returns the minimum of f(i) over [0, n), or id if n <= 0.

@@ -1,0 +1,249 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"parlap/internal/gen"
+	"parlap/internal/graph"
+	"parlap/internal/graphio"
+)
+
+// HTTP/JSON API:
+//
+//	POST /graphs                 register a graph, build (or reuse) its chain
+//	GET  /graphs                 list cached graph ids (MRU first)
+//	POST /graphs/{id}/solve      solve one RHS ("b") or a batch ("batch")
+//	GET  /graphs/{id}/stats      per-graph chain + serving statistics
+//	GET  /healthz                service-wide health / cache counters
+//
+// Graph payloads come in the two formats the rest of the repo already
+// speaks: a generator spec ("grid2d:64x64", "pa:20000:4", … — gen.FromSpec)
+// or a graphio edge list ("u v w" lines, optional "n m" header).
+
+// maxBodyBytes bounds request bodies at 512 MiB — roughly a 64-RHS batch
+// on a 400k-vertex graph in JSON. Requests that are legal under MaxBatch ×
+// MaxGraphVertices can exceed this; such clients should split the batch
+// (the chain cache makes extra solve requests cheap). Oversized bodies get
+// an explicit 413, not a generic decode error.
+const maxBodyBytes = 1 << 29
+
+// RegisterRequest is the POST /graphs body. Exactly one of Spec or EdgeList
+// must be set.
+type RegisterRequest struct {
+	// Spec is a generator spec string, e.g. "grid2d:64x64" (see gen.FromSpec).
+	Spec string `json:"spec,omitempty"`
+	// Seed drives random generator families; defaults to 1.
+	Seed int64 `json:"seed,omitempty"`
+	// EdgeList is a whitespace edge-list document ("u v [w]" lines).
+	EdgeList string `json:"edgelist,omitempty"`
+}
+
+// RegisterResponse is the POST /graphs reply.
+type RegisterResponse struct {
+	ID      string  `json:"id"`
+	N       int     `json:"n"`
+	M       int     `json:"m"`
+	Cached  bool    `json:"cached"`
+	BuildMS float64 `json:"build_ms"`
+	Levels  int     `json:"levels"`
+}
+
+// SolveRequest is the POST /graphs/{id}/solve body. Exactly one of B or
+// Batch must be set.
+type SolveRequest struct {
+	B     []float64   `json:"b,omitempty"`
+	Batch [][]float64 `json:"batch,omitempty"`
+	Eps   float64     `json:"eps,omitempty"`
+}
+
+// SolveStatsJSON is the wire form of one solve's statistics.
+type SolveStatsJSON struct {
+	Iterations int     `json:"iterations"`
+	Converged  bool    `json:"converged"`
+	Residual   float64 `json:"residual"`
+}
+
+// SolveResponse is the POST /graphs/{id}/solve reply: X/Stats for a single
+// solve, Xs/BatchStats for a batch.
+type SolveResponse struct {
+	X          []float64        `json:"x,omitempty"`
+	Stats      *SolveStatsJSON  `json:"stats,omitempty"`
+	Xs         [][]float64      `json:"xs,omitempty"`
+	BatchStats []SolveStatsJSON `json:"batch_stats,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /graphs", s.handleRegister)
+	mux.HandleFunc("GET /graphs", s.handleList)
+	mux.HandleFunc("POST /graphs/{id}/solve", s.handleSolve)
+	mux.HandleFunc("GET /graphs/{id}/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes; split the batch across requests", int64(maxBodyBytes))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// graphFromRequest materializes the request's graph payload.
+func graphFromRequest(req *RegisterRequest) (*graph.Graph, string, error) {
+	switch {
+	case req.Spec != "" && req.EdgeList != "":
+		return nil, "", errors.New("set exactly one of spec and edgelist, not both")
+	case req.Spec != "":
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		g, err := gen.FromSpec(req.Spec, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, describeSource(fmt.Sprintf("spec:%s seed:%d", req.Spec, seed)), nil
+	case req.EdgeList != "":
+		g, err := graphio.ReadEdgeList(strings.NewReader(req.EdgeList))
+		if err != nil {
+			return nil, "", err
+		}
+		return g, describeSource(fmt.Sprintf("edgelist(n=%d m=%d)", g.N, g.M())), nil
+	default:
+		return nil, "", errors.New("set one of spec and edgelist")
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	g, source, err := graphFromRequest(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad graph payload: %v", err)
+		return
+	}
+	if g.N == 0 {
+		writeError(w, http.StatusBadRequest, "empty graph")
+		return
+	}
+	e, cached, err := s.Register(r.Context(), g, source)
+	if err != nil {
+		var tl *TooLargeError
+		switch {
+		case errors.As(err, &tl):
+			writeError(w, http.StatusBadRequest, "%v", err)
+		case errors.Is(err, ErrBuildAborted):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
+			writeError(w, http.StatusServiceUnavailable, "request expired in build queue: %v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "chain build failed: %v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		ID: e.id, N: e.n, M: e.m, Cached: cached,
+		BuildMS: float64(e.buildDur.Microseconds()) / 1000,
+		Levels:  e.solver.Chain.Depth(),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"graphs": s.List()})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req SolveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	single := req.B != nil
+	var bs [][]float64
+	switch {
+	case single && req.Batch != nil:
+		writeError(w, http.StatusBadRequest, "set exactly one of b and batch, not both")
+		return
+	case single:
+		bs = [][]float64{req.B}
+	case req.Batch != nil:
+		bs = req.Batch
+	default:
+		writeError(w, http.StatusBadRequest, "set one of b and batch")
+		return
+	}
+	xs, sts, err := s.Solve(r.Context(), id, bs, req.Eps)
+	if err != nil {
+		var nf *NotFoundError
+		switch {
+		case errors.As(err, &nf):
+			writeError(w, http.StatusNotFound, "%v", err)
+		case errors.Is(err, ErrBuildAborted):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
+			writeError(w, http.StatusServiceUnavailable, "request expired in admission queue: %v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	wire := make([]SolveStatsJSON, len(sts))
+	for i, st := range sts {
+		wire[i] = SolveStatsJSON{Iterations: st.Iterations, Converged: st.Converged, Residual: st.Residual}
+	}
+	if single {
+		writeJSON(w, http.StatusOK, SolveResponse{X: xs[0], Stats: &wire[0]})
+		return
+	}
+	writeJSON(w, http.StatusOK, SolveResponse{Xs: xs, BatchStats: wire})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Stats(r.Context(), r.PathValue("id"))
+	if err != nil {
+		var nf *NotFoundError
+		if errors.As(err, &nf) {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}

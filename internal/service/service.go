@@ -1,0 +1,505 @@
+// Package service is the serving layer over the solver: a bounded LRU cache
+// of built preconditioner chains keyed by a canonical graph hash, build-once
+// deduplication for concurrent registrations, and admission control that
+// splits a global worker budget across bounded in-flight solves. The
+// economics follow the paper directly — chain construction is the expensive,
+// near-linear-work step, each subsequent solve is cheap — so the service's
+// job is to make one construction serve many right-hand sides, across
+// requests and across clients, the way Dhulipala–Blelloch–Shun wrap
+// theoretically efficient primitives in reusable serving layers.
+package service
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parlap/internal/graph"
+	"parlap/internal/solver"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// MaxGraphs bounds the chain cache (LRU eviction beyond it). Default 16.
+	MaxGraphs int
+	// MaxInflight bounds concurrently executing solves; further requests
+	// queue until a slot frees (or their context expires). Default 4.
+	MaxInflight int
+	// Workers is the global worker budget split evenly across the
+	// MaxInflight solve slots (each admitted solve runs with
+	// max(1, Workers/MaxInflight) goroutines). 0 = GOMAXPROCS.
+	Workers int
+	// DefaultEps is the solve tolerance when a request omits eps.
+	// Default 1e-8.
+	DefaultEps float64
+	// MaxBatch caps the number of right-hand sides accepted in one solve
+	// request. Default 64.
+	MaxBatch int
+	// MaxConcurrentBuilds bounds chain constructions running at once —
+	// builds are the expensive step and run with the full worker budget, so
+	// without a bound a burst of registrations oversubscribes the machine.
+	// Further registrations queue. Default 2.
+	MaxConcurrentBuilds int
+	// MaxGraphVertices / MaxGraphEdges reject oversized registration
+	// payloads up front (a build is O(m log m) time and O(m) memory that
+	// cannot be cancelled once started). Defaults 2e6 / 16e6.
+	MaxGraphVertices int
+	MaxGraphEdges    int
+	// Chain are the preconditioner-chain construction parameters; the zero
+	// value means solver.DefaultChainParams().
+	Chain *solver.ChainParams
+}
+
+// Server owns the graph registry. All methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	chain solver.ChainParams
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used; values are *entry
+
+	sem      chan struct{} // solve admission slots
+	buildSem chan struct{} // build admission slots
+	inflight atomic.Int64
+
+	start     time.Time
+	registers atomic.Int64 // POST /graphs requests accepted
+	cacheHits atomic.Int64 // registrations answered from cache
+	evictions atomic.Int64
+}
+
+// entry is one cached graph + its built solver. The build runs exactly once
+// (the first registrar builds; concurrent registrars of the same hash wait
+// on built), and the solver is read-only afterwards, so solves need no
+// entry-level locking.
+type entry struct {
+	id     string
+	source string
+	n, m   int
+	elem   *list.Element
+
+	built    chan struct{} // closed when the build finished (ok or not)
+	solver   *solver.Solver
+	buildErr error
+	buildDur time.Duration
+
+	hits       atomic.Int64 // re-registrations served from cache
+	solves     atomic.Int64 // solve requests served
+	rhsServed  atomic.Int64 // right-hand sides solved (batch counts each)
+	iterations atomic.Int64 // cumulative outer PCG iterations
+}
+
+// New returns a Server with cfg's zero fields defaulted.
+func New(cfg Config) *Server {
+	if cfg.MaxGraphs <= 0 {
+		cfg.MaxGraphs = 16
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DefaultEps <= 0 {
+		cfg.DefaultEps = 1e-8
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxConcurrentBuilds <= 0 {
+		cfg.MaxConcurrentBuilds = 2
+	}
+	if cfg.MaxGraphVertices <= 0 {
+		cfg.MaxGraphVertices = 2_000_000
+	}
+	if cfg.MaxGraphEdges <= 0 {
+		cfg.MaxGraphEdges = 16_000_000
+	}
+	chain := solver.DefaultChainParams()
+	if cfg.Chain != nil {
+		chain = *cfg.Chain
+	}
+	return &Server{
+		cfg:      cfg,
+		chain:    chain,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		buildSem: make(chan struct{}, cfg.MaxConcurrentBuilds),
+		start:    time.Now(),
+	}
+}
+
+// workersForOccupancy splits the global worker budget by the number of
+// solves actually executing (the admitted request included), so a lone
+// request on an idle server gets the whole budget while a full house gets
+// Workers/MaxInflight each. The split only affects scheduling — results
+// are bitwise identical for every workers value — so occupancy-raciness
+// is harmless.
+func (s *Server) workersForOccupancy(inflight int64) int {
+	if inflight < 1 {
+		inflight = 1
+	}
+	w := s.cfg.Workers / int(inflight)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// GraphID returns the canonical cache key of g: a SHA-256 over the vertex
+// count and the (u ≤ v)-normalized, sorted edge multiset with exact float64
+// weight bits, truncated to 128 bits (collision-infeasible; 64 bits would
+// be birthday-searchable). Two registrations hash equal iff they describe
+// the same weighted multigraph (up to edge order and endpoint orientation),
+// so a graph's chain is built exactly once no matter how many clients
+// register it or in what form.
+func GraphID(g *graph.Graph) string {
+	type key struct {
+		u, v int
+		w    float64
+	}
+	ks := make([]key, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		ks = append(ks, key{u, v, e.W})
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].u != ks[j].u {
+			return ks[i].u < ks[j].u
+		}
+		if ks[i].v != ks[j].v {
+			return ks[i].v < ks[j].v
+		}
+		return math.Float64bits(ks[i].w) < math.Float64bits(ks[j].w)
+	})
+	h := sha256.New()
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(g.N))
+	h.Write(buf[:8])
+	for _, k := range ks {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(k.u))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(k.v))
+		binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(k.w))
+		h.Write(buf[:])
+	}
+	return "g" + hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// TooLargeError rejects oversized registration payloads.
+type TooLargeError struct{ msg string }
+
+func (e *TooLargeError) Error() string { return e.msg }
+
+// ErrBuildAborted marks an entry whose registrar left the build queue
+// before a build ever started (context expiry). Waiters that inherited the
+// entry should treat it as transient: the entry is removed from the cache
+// before this error is published, so re-registering retries cleanly.
+var ErrBuildAborted = errors.New("service: chain build aborted before it started; re-register to retry")
+
+// Register inserts g into the cache (building its chain if absent) and
+// returns the entry. cached reports whether the chain already existed —
+// when true the registrar paid nothing but the hash. Builds pass their own
+// admission control (MaxConcurrentBuilds); ctx governs time spent queued
+// for a build slot (a build cannot be cancelled once started).
+func (s *Server) Register(ctx context.Context, g *graph.Graph, source string) (e *entry, cached bool, err error) {
+	if g.N > s.cfg.MaxGraphVertices {
+		return nil, false, &TooLargeError{fmt.Sprintf("service: graph has %d vertices, limit %d", g.N, s.cfg.MaxGraphVertices)}
+	}
+	if g.M() > s.cfg.MaxGraphEdges {
+		return nil, false, &TooLargeError{fmt.Sprintf("service: graph has %d edges, limit %d", g.M(), s.cfg.MaxGraphEdges)}
+	}
+	id := GraphID(g)
+	s.registers.Add(1)
+	s.mu.Lock()
+	if e, ok := s.entries[id]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		select {
+		case <-e.built:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if e.buildErr != nil {
+			// Not a hit: the build this registration would have reused
+			// never produced a chain.
+			return e, true, e.buildErr
+		}
+		e.hits.Add(1)
+		s.cacheHits.Add(1)
+		return e, true, nil
+	}
+	e = &entry{
+		id:     id,
+		source: source,
+		n:      g.N,
+		m:      g.M(),
+		built:  make(chan struct{}),
+	}
+	e.elem = s.lru.PushFront(e)
+	s.entries[id] = e
+	s.evictLocked(e)
+	s.mu.Unlock()
+
+	// First registrar builds (under the build-slot bound); everyone else
+	// (register or solve) waits on e.built. Construction is the expensive,
+	// latency-insensitive step, so an admitted build gets the whole worker
+	// budget rather than a solve slot's share.
+	select {
+	case s.buildSem <- struct{}{}:
+	case <-ctx.Done():
+		// Remove the entry BEFORE publishing the abort, so concurrent
+		// waiters that re-register get a fresh entry (and a fresh build)
+		// rather than inheriting this registrar's cancellation.
+		e.buildErr = fmt.Errorf("%w (registrar: %v)", ErrBuildAborted, ctx.Err())
+		s.removeFailed(e)
+		close(e.built)
+		return nil, false, e.buildErr
+	}
+	t0 := time.Now()
+	sv, err := solver.NewWithOptions(g, s.chain, solver.Options{Workers: s.cfg.Workers}, nil)
+	<-s.buildSem
+	e.buildDur = time.Since(t0)
+	e.solver, e.buildErr = sv, err
+	if err != nil {
+		// A failed build must not poison the cache key.
+		s.removeFailed(e)
+	}
+	close(e.built)
+	if err == nil {
+		// Finished builds can now be eviction victims; trim any overshoot
+		// the in-flight-build exemption allowed. The freshly built entry is
+		// exempt — its registrar is about to return 200 with this id.
+		s.mu.Lock()
+		s.evictLocked(e)
+		s.mu.Unlock()
+	}
+	return e, false, err
+}
+
+// removeFailed drops an entry whose build did not produce a solver.
+func (s *Server) removeFailed(e *entry) {
+	s.mu.Lock()
+	if cur, ok := s.entries[e.id]; ok && cur == e {
+		delete(s.entries, e.id)
+		s.lru.Remove(e.elem)
+	}
+	s.mu.Unlock()
+}
+
+// evictLocked trims the cache to MaxGraphs, evicting only the least
+// recently used *finished* entries: evicting an in-flight build (or the
+// exempt entry, whose registrar is about to hand out its id) would produce
+// a 200 registration whose id immediately 404s and would waste the build.
+// When every excess entry is still building the cache overshoots
+// temporarily (bounded by the concurrent-registration burst); each build's
+// completion re-trims. Callers hold s.mu.
+func (s *Server) evictLocked(exempt *entry) {
+	for len(s.entries) > s.cfg.MaxGraphs {
+		var victim *entry
+		for el := s.lru.Back(); el != nil; el = el.Prev() {
+			cand := el.Value.(*entry)
+			if cand == exempt {
+				continue
+			}
+			select {
+			case <-cand.built:
+				victim = cand
+			default:
+				continue
+			}
+			break
+		}
+		if victim == nil {
+			return // only in-flight builds (or the exempt entry) in excess
+		}
+		delete(s.entries, victim.id)
+		s.lru.Remove(victim.elem)
+		s.evictions.Add(1)
+	}
+}
+
+// lookup returns the entry for id, refreshing its LRU position.
+func (s *Server) lookup(id string) (*entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if ok {
+		s.lru.MoveToFront(e.elem)
+	}
+	return e, ok
+}
+
+// Solve runs the k right-hand sides bs against graph id under admission
+// control: the call blocks until one of the MaxInflight solve slots frees
+// (or ctx expires), then solves with the per-slot share of the worker
+// budget. len(bs) == 1 takes the single-RHS path; larger batches share one
+// preconditioner-chain pass per iteration across all columns.
+func (s *Server) Solve(ctx context.Context, id string, bs [][]float64, eps float64) ([][]float64, []solver.SolveStats, error) {
+	e, ok := s.lookup(id)
+	if !ok {
+		return nil, nil, &NotFoundError{ID: id}
+	}
+	select {
+	case <-e.built:
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+	if e.buildErr != nil {
+		return nil, nil, e.buildErr
+	}
+	if len(bs) == 0 {
+		return nil, nil, fmt.Errorf("service: empty right-hand-side batch")
+	}
+	if len(bs) > s.cfg.MaxBatch {
+		return nil, nil, fmt.Errorf("service: batch of %d exceeds limit %d", len(bs), s.cfg.MaxBatch)
+	}
+	for i, b := range bs {
+		if len(b) != e.n {
+			return nil, nil, fmt.Errorf("service: rhs %d has %d entries, graph has %d vertices", i, len(b), e.n)
+		}
+	}
+	if eps <= 0 {
+		eps = s.cfg.DefaultEps
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+	occupancy := s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}()
+	opt := solver.Options{Workers: s.workersForOccupancy(occupancy)}
+	xs, sts := e.solver.SolveBatchOpts(bs, eps, opt)
+	e.solves.Add(1)
+	e.rhsServed.Add(int64(len(bs)))
+	for _, st := range sts {
+		e.iterations.Add(int64(st.Iterations))
+	}
+	return xs, sts, nil
+}
+
+// NotFoundError reports an unknown (or evicted) graph id.
+type NotFoundError struct{ ID string }
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("service: unknown graph %q (never registered, or evicted)", e.ID)
+}
+
+// GraphStats is the stats document of one cached graph.
+type GraphStats struct {
+	ID         string  `json:"id"`
+	Source     string  `json:"source"`
+	N          int     `json:"n"`
+	M          int     `json:"m"`
+	BuildMS    float64 `json:"build_ms"`
+	Levels     int     `json:"levels"`
+	EdgeCounts []int   `json:"edge_counts"`
+	CacheHits  int64   `json:"cache_hits"`
+	Solves     int64   `json:"solves"`
+	RHSServed  int64   `json:"rhs_served"`
+	Iterations int64   `json:"iterations"`
+	BottomSolv int64   `json:"bottom_solves"`
+	MaxIter    int     `json:"max_iter"`
+}
+
+// Stats returns the stats document for graph id. ctx bounds the wait on an
+// in-flight build of that graph.
+func (s *Server) Stats(ctx context.Context, id string) (*GraphStats, error) {
+	e, ok := s.lookup(id)
+	if !ok {
+		return nil, &NotFoundError{ID: id}
+	}
+	select {
+	case <-e.built:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if e.buildErr != nil {
+		return nil, e.buildErr
+	}
+	st := &GraphStats{
+		ID: e.id, Source: e.source, N: e.n, M: e.m,
+		BuildMS:    float64(e.buildDur.Microseconds()) / 1000,
+		Levels:     e.solver.Chain.Depth(),
+		EdgeCounts: e.solver.Chain.EdgeCounts(),
+		CacheHits:  e.hits.Load(),
+		Solves:     e.solves.Load(),
+		RHSServed:  e.rhsServed.Load(),
+		Iterations: e.iterations.Load(),
+		BottomSolv: e.solver.Chain.BottomSolves(),
+		MaxIter:    e.solver.MaxIter,
+	}
+	return st, nil
+}
+
+// ServerStats is the service-wide health/stats document.
+type ServerStats struct {
+	Status      string  `json:"status"`
+	Graphs      int     `json:"graphs"`
+	MaxGraphs   int     `json:"max_graphs"`
+	Registers   int64   `json:"registers"`
+	CacheHits   int64   `json:"cache_hits"`
+	Evictions   int64   `json:"evictions"`
+	Inflight    int64   `json:"inflight"`
+	MaxInflight int     `json:"max_inflight"`
+	Workers     int     `json:"workers"`
+	// PerSolveW is the per-solve worker share at full occupancy; an
+	// admitted solve on a quieter server gets proportionally more.
+	PerSolveW int `json:"workers_per_solve_full"`
+	UptimeSec   float64 `json:"uptime_sec"`
+}
+
+// Health returns the service-wide stats document.
+func (s *Server) Health() *ServerStats {
+	s.mu.Lock()
+	n := len(s.entries)
+	s.mu.Unlock()
+	return &ServerStats{
+		Status: "ok", Graphs: n, MaxGraphs: s.cfg.MaxGraphs,
+		Registers: s.registers.Load(), CacheHits: s.cacheHits.Load(),
+		Evictions: s.evictions.Load(), Inflight: s.inflight.Load(),
+		MaxInflight: s.cfg.MaxInflight, Workers: s.cfg.Workers,
+		PerSolveW: s.workersForOccupancy(int64(s.cfg.MaxInflight)),
+		UptimeSec: time.Since(s.start).Seconds(),
+	}
+}
+
+// List returns the ids currently cached, most recently used first.
+func (s *Server) List() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).id)
+	}
+	return out
+}
+
+// describeSource trims a payload description for the stats document.
+func describeSource(src string) string {
+	src = strings.TrimSpace(src)
+	if len(src) > 80 {
+		src = src[:77] + "..."
+	}
+	return src
+}

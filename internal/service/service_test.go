@@ -1,0 +1,278 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"parlap/internal/gen"
+)
+
+func testServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, req, resp any) int {
+	t.Helper()
+	var body bytes.Buffer
+	if req != nil {
+		if err := json.NewEncoder(&body).Encode(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hr, err := http.NewRequest(method, url, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	r, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if resp != nil && r.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r.StatusCode
+}
+
+func meanFreeRHS(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	mean := 0.0
+	for i := range b {
+		b[i] = rng.NormFloat64()
+		mean += b[i]
+	}
+	mean /= float64(n)
+	for i := range b {
+		b[i] -= mean
+	}
+	return b
+}
+
+func TestRegisterBuildsOnceAndCountsHits(t *testing.T) {
+	ts := testServer(t, Config{})
+	var first, second RegisterResponse
+	if code := doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{Spec: "grid2d:16x16"}, &first); code != 200 {
+		t.Fatalf("register: status %d", code)
+	}
+	if first.Cached {
+		t.Fatal("first registration reported cached")
+	}
+	if code := doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{Spec: "grid2d:16x16"}, &second); code != 200 {
+		t.Fatalf("re-register: status %d", code)
+	}
+	if !second.Cached || second.ID != first.ID {
+		t.Fatalf("second registration not served from cache: %+v vs %+v", second, first)
+	}
+	var st GraphStats
+	if code := doJSON(t, "GET", fmt.Sprintf("%s/graphs/%s/stats", ts.URL, first.ID), nil, &st); code != 200 {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.CacheHits != 1 {
+		t.Fatalf("stats report %d cache hits, want 1", st.CacheHits)
+	}
+}
+
+// TestRegisterCanonicalHash: the same multigraph in different clothing —
+// edge order permuted, endpoints flipped — must land on one cache entry.
+func TestRegisterCanonicalHash(t *testing.T) {
+	ts := testServer(t, Config{})
+	var a, b RegisterResponse
+	doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{EdgeList: "0 1 1\n1 2 2\n2 3 1.5"}, &a)
+	doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{EdgeList: "3 2 1.5\n2 1 2\n1 0 1"}, &b)
+	if a.ID != b.ID || !b.Cached {
+		t.Fatalf("reordered/flipped edge list missed the cache: %+v vs %+v", a, b)
+	}
+}
+
+func TestSolveSingleAndBatchBitwise(t *testing.T) {
+	ts := testServer(t, Config{})
+	var reg RegisterResponse
+	doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{Spec: "grid2d:16x16"}, &reg)
+	solveURL := fmt.Sprintf("%s/graphs/%s/solve", ts.URL, reg.ID)
+
+	const k = 3
+	bs := make([][]float64, k)
+	singles := make([][]float64, k)
+	for c := range bs {
+		bs[c] = meanFreeRHS(reg.N, int64(50+c))
+		var resp SolveResponse
+		if code := doJSON(t, "POST", solveURL, SolveRequest{B: bs[c], Eps: 1e-7}, &resp); code != 200 {
+			t.Fatalf("solve %d: status %d", c, code)
+		}
+		if resp.Stats == nil || !resp.Stats.Converged {
+			t.Fatalf("solve %d did not converge: %+v", c, resp.Stats)
+		}
+		if resp.Stats.Residual > 1e-6 {
+			t.Fatalf("solve %d residual %g too large", c, resp.Stats.Residual)
+		}
+		singles[c] = resp.X
+	}
+	var batch SolveResponse
+	if code := doJSON(t, "POST", solveURL, SolveRequest{Batch: bs, Eps: 1e-7}, &batch); code != 200 {
+		t.Fatalf("batch: status %d", code)
+	}
+	if len(batch.Xs) != k {
+		t.Fatalf("batch returned %d columns, want %d", len(batch.Xs), k)
+	}
+	for c := range batch.Xs {
+		if len(batch.Xs[c]) != len(singles[c]) {
+			t.Fatalf("column %d: length mismatch", c)
+		}
+		for i := range batch.Xs[c] {
+			if batch.Xs[c][i] != singles[c][i] {
+				t.Fatalf("column %d entry %d: batch %g != single %g", c, i, batch.Xs[c][i], singles[c][i])
+			}
+		}
+	}
+	var st GraphStats
+	doJSON(t, "GET", fmt.Sprintf("%s/graphs/%s/stats", ts.URL, reg.ID), nil, &st)
+	if st.Solves != k+1 || st.RHSServed != 2*k {
+		t.Fatalf("stats solves=%d rhs=%d, want %d and %d", st.Solves, st.RHSServed, k+1, 2*k)
+	}
+}
+
+// TestConcurrentHTTPSolves: many clients hammering one cached chain must
+// produce exactly the answers sequential requests produce. Run under -race
+// this is the serving-layer race check of the acceptance criteria.
+func TestConcurrentHTTPSolves(t *testing.T) {
+	ts := testServer(t, Config{MaxInflight: 4, Workers: 4})
+	var reg RegisterResponse
+	doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{Spec: "grid2d:14x14"}, &reg)
+	solveURL := fmt.Sprintf("%s/graphs/%s/solve", ts.URL, reg.ID)
+
+	const clients = 10
+	bs := make([][]float64, clients)
+	refs := make([][]float64, clients)
+	for c := range bs {
+		bs[c] = meanFreeRHS(reg.N, int64(70+c))
+		var resp SolveResponse
+		if code := doJSON(t, "POST", solveURL, SolveRequest{B: bs[c]}, &resp); code != 200 {
+			t.Fatalf("reference solve %d: status %d", c, code)
+		}
+		refs[c] = resp.X
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var resp SolveResponse
+			if code := doJSON(t, "POST", solveURL, SolveRequest{B: bs[c]}, &resp); code != 200 {
+				errs[c] = fmt.Errorf("status %d", code)
+				return
+			}
+			for i := range resp.X {
+				if resp.X[i] != refs[c][i] {
+					errs[c] = fmt.Errorf("entry %d: concurrent %g != sequential %g", i, resp.X[i], refs[c][i])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	ts := testServer(t, Config{MaxGraphs: 2})
+	ids := make([]string, 3)
+	for i, spec := range []string{"grid2d:8x8", "grid2d:9x9", "grid2d:10x10"} {
+		var reg RegisterResponse
+		if code := doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{Spec: spec}, &reg); code != 200 {
+			t.Fatalf("register %s: status %d", spec, code)
+		}
+		ids[i] = reg.ID
+	}
+	// The first graph is the LRU victim; its id must now 404.
+	b := meanFreeRHS(64, 1)
+	code := doJSON(t, "POST", fmt.Sprintf("%s/graphs/%s/solve", ts.URL, ids[0]), SolveRequest{B: b}, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("evicted graph answered with status %d, want 404", code)
+	}
+	// The survivors still solve.
+	b = meanFreeRHS(100, 2)
+	var resp SolveResponse
+	if code := doJSON(t, "POST", fmt.Sprintf("%s/graphs/%s/solve", ts.URL, ids[2]), SolveRequest{B: b}, &resp); code != 200 {
+		t.Fatalf("cached graph: status %d", code)
+	}
+	var health ServerStats
+	doJSON(t, "GET", ts.URL+"/healthz", nil, &health)
+	if health.Graphs != 2 || health.Evictions != 1 {
+		t.Fatalf("health reports %d graphs / %d evictions, want 2 / 1", health.Graphs, health.Evictions)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := testServer(t, Config{MaxBatch: 2})
+	// Unknown id.
+	if code := doJSON(t, "POST", ts.URL+"/graphs/gdeadbeef/solve", SolveRequest{B: []float64{1}}, nil); code != 404 {
+		t.Fatalf("unknown id: status %d, want 404", code)
+	}
+	// Bad spec.
+	if code := doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{Spec: "nosuch:1"}, nil); code != 400 {
+		t.Fatalf("bad spec: status %d, want 400", code)
+	}
+	// Both payload kinds at once.
+	if code := doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{Spec: "path:5", EdgeList: "0 1"}, nil); code != 400 {
+		t.Fatalf("ambiguous payload: status %d, want 400", code)
+	}
+	var reg RegisterResponse
+	doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{Spec: "path:16"}, &reg)
+	solveURL := fmt.Sprintf("%s/graphs/%s/solve", ts.URL, reg.ID)
+	// Wrong RHS length.
+	if code := doJSON(t, "POST", solveURL, SolveRequest{B: []float64{1, 2}}, nil); code != 400 {
+		t.Fatalf("wrong rhs length: status %d, want 400", code)
+	}
+	// Batch over the limit.
+	big := [][]float64{meanFreeRHS(16, 1), meanFreeRHS(16, 2), meanFreeRHS(16, 3)}
+	if code := doJSON(t, "POST", solveURL, SolveRequest{Batch: big}, nil); code != 400 {
+		t.Fatalf("oversized batch: status %d, want 400", code)
+	}
+	// Neither b nor batch.
+	if code := doJSON(t, "POST", solveURL, SolveRequest{}, nil); code != 400 {
+		t.Fatalf("empty solve request: status %d, want 400", code)
+	}
+}
+
+// TestOversizedGraphRejected: registration payloads beyond the configured
+// size caps are refused before any build work starts.
+func TestOversizedGraphRejected(t *testing.T) {
+	ts := testServer(t, Config{MaxGraphVertices: 100})
+	if code := doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{Spec: "grid2d:20x20"}, nil); code != 400 {
+		t.Fatalf("oversized graph: status %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{Spec: "grid2d:8x8"}, nil); code != 200 {
+		t.Fatalf("within-cap graph: status %d, want 200", code)
+	}
+}
+
+// TestGraphIDCanonicalization exercises the hash directly.
+func TestGraphIDCanonicalization(t *testing.T) {
+	a := gen.Grid2D(5, 5)
+	b := gen.Grid2D(5, 5)
+	if GraphID(a) != GraphID(b) {
+		t.Fatal("identical graphs hash differently")
+	}
+	c := gen.Grid2D(5, 6)
+	if GraphID(a) == GraphID(c) {
+		t.Fatal("different graphs collide")
+	}
+}

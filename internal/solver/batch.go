@@ -1,0 +1,279 @@
+package solver
+
+import (
+	"math"
+
+	"parlap/internal/matrix"
+	"parlap/internal/wd"
+)
+
+// The batched solve path: the whole preconditioner-chain recursion — the
+// elimination-log replays, the per-level Chebyshev sweeps, the CSR
+// mat-vecs, the dense bottom solve — operates on k right-hand-side columns
+// per pass, amortizing every traversal of the chain's (large, shared)
+// static structure across the batch. Column arithmetic is never mixed:
+// each batched kernel performs, per column, exactly the floating-point
+// operations of its single-vector form in the same order, so SolveBatch
+// returns bitwise-identical vectors to k independent Solve calls. Columns
+// that converge (or break down) drop out of the active set exactly where
+// the single-column driver would have stopped.
+
+// solveLevelBatch is solveLevel over k columns: one Chebyshev sweep (or one
+// bottom direct solve) serving the whole batch.
+func (c *Chain) solveLevelBatch(workers, i int, bs [][]float64) [][]float64 {
+	if i >= len(c.Levels) {
+		c.bottomSolves.Add(int64(len(bs)))
+		nb := int64(c.BottomG.N)
+		c.rec.Add(int64(len(bs))*nb*nb, 1)
+		return c.Bottom.SolveBatchW(workers, bs)
+	}
+	lvl := &c.Levels[i]
+	return chebyshevBatch(workers, lvl.Lap, bs, lvl.ChebIts, lvl.EigLo, lvl.EigHi,
+		func(rs [][]float64) [][]float64 { return c.applyHBatch(workers, i, rs) },
+		lvl.Comp, lvl.NumComp, c.rec)
+}
+
+// applyHBatch is applyH over k columns: one forward/backward replay of the
+// elimination log per batch instead of per RHS.
+func (c *Chain) applyHBatch(workers, i int, rs [][]float64) [][]float64 {
+	lvl := &c.Levels[i]
+	red, carry := lvl.Elim.ForwardRHSBatchW(workers, rs)
+	xr := c.solveLevelBatch(workers, i+1, red)
+	zs := lvl.Elim.BackSolveBatchW(workers, xr, carry)
+	matrix.ProjectOutConstantMaskedBatchW(workers, zs, lvl.Comp, lvl.NumComp)
+	c.rec.Add(int64(len(rs))*(int64(len(lvl.Elim.Ops))+int64(len(rs[0]))), int64(lvl.Elim.Rounds)+1)
+	return zs
+}
+
+// PrecondApplyBatchW applies the top-level preconditioner to k residuals in
+// one chain pass. Column c is bitwise identical to PrecondApplyW on that
+// column. Safe for concurrent use (the Chain is read-only after build).
+func (c *Chain) PrecondApplyBatchW(workers int, rs [][]float64) [][]float64 {
+	if len(c.Levels) == 0 {
+		return c.Bottom.SolveBatchW(workers, rs)
+	}
+	return c.applyHBatch(workers, 0, rs)
+}
+
+// fillScalar broadcasts v into dst (scratch for the batch AXPY kernels,
+// whose per-column scalars here are column-independent).
+func fillScalar(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// chebyshevBatch runs the fixed-degree preconditioned Chebyshev iteration of
+// chebyshev() on k columns at once. The Chebyshev recurrence scalars depend
+// only on the spectral interval and the iteration index — never on the data
+// — so one scalar schedule drives all columns and each column reproduces the
+// single-column iteration bitwise.
+func chebyshevBatch(workers int, a *matrix.Sparse, bs [][]float64, iters int, lo, hi float64,
+	precond func([][]float64) [][]float64, comp []int, numComp int, rec *wd.Recorder) [][]float64 {
+	k := len(bs)
+	if k == 1 {
+		single := func(r []float64) []float64 { return precond([][]float64{r})[0] }
+		return [][]float64{chebyshev(workers, a, bs[0], iters, lo, hi, single, comp, numComp, rec)}
+	}
+	n := a.N
+	xs := make([][]float64, k)
+	aps := make([][]float64, k)
+	for c := range xs {
+		xs[c] = make([]float64, n)
+		aps[c] = make([]float64, n)
+	}
+	rs := matrix.CopyVecBatch(bs)
+	matrix.ProjectOutConstantMaskedBatchW(workers, rs, comp, numComp)
+	d := (hi + lo) / 2
+	cc := (hi - lo) / 2
+	var ps [][]float64
+	var alpha, beta float64
+	scal := make([]float64, k)
+	for it := 0; it < iters; it++ {
+		zs := precond(rs)
+		matrix.ProjectOutConstantMaskedBatchW(workers, zs, comp, numComp)
+		switch it {
+		case 0:
+			ps = matrix.CopyVecBatch(zs)
+			alpha = 1 / d
+		case 1:
+			beta = 0.5 * (cc * alpha) * (cc * alpha)
+			alpha = 1 / (d - beta/alpha)
+			fillScalar(scal, beta)
+			matrix.AxpyBatchW(workers, ps, scal, ps, zs)
+		default:
+			beta = (cc * alpha / 2) * (cc * alpha / 2)
+			alpha = 1 / (d - beta/alpha)
+			fillScalar(scal, beta)
+			matrix.AxpyBatchW(workers, ps, scal, ps, zs)
+		}
+		fillScalar(scal, alpha)
+		matrix.AxpyBatchW(workers, xs, scal, ps, xs)
+		a.MulVecBatchW(workers, ps, aps)
+		fillScalar(scal, -alpha)
+		matrix.AxpyBatchW(workers, rs, scal, aps, rs)
+		rec.Add(int64(k)*int64(a.NNZ()+6*n), 2)
+	}
+	matrix.ProjectOutConstantMaskedBatchW(workers, xs, comp, numComp)
+	return xs
+}
+
+// gatherCols views the columns of src selected by idx (no copies — columns
+// are independent slices, so a sub-batch is just a slice of pointers).
+func gatherCols(src [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, c := range idx {
+		out[i] = src[c]
+	}
+	return out
+}
+
+// pcgFlexibleBatch runs pcgFlexible on k right-hand sides, sharing one
+// preconditioner-chain pass per iteration across all still-active columns.
+// Every column follows the exact operation sequence of the single-column
+// driver — same kernels, same order, same break points — so xs[c] is
+// bitwise identical to pcgFlexible on bs[c]. Columns leave the active set
+// when they converge or the preconditioner breaks down for them, exactly
+// where pcgFlexible would have returned.
+func pcgFlexibleBatch(workers int, a *matrix.Sparse, bs [][]float64,
+	precond func([][]float64) [][]float64, comp []int, numComp int,
+	tol float64, maxIter int, rec *wd.Recorder) ([][]float64, []SolveStats) {
+	k := len(bs)
+	n := a.N
+	xs := make([][]float64, k)
+	aps := make([][]float64, k)
+	stats := make([]SolveStats, k)
+	for c := range xs {
+		xs[c] = make([]float64, n)
+		aps[c] = make([]float64, n)
+	}
+	rs := matrix.CopyVecBatch(bs)
+	matrix.ProjectOutConstantMaskedBatchW(workers, rs, comp, numComp)
+	bnorms := matrix.Norm2BatchW(workers, rs)
+	// needsProject marks columns whose x must be projected on exit (every
+	// exit path of the single driver except the zero-RHS early return).
+	needsProject := make([]bool, k)
+	var active []int
+	for c := 0; c < k; c++ {
+		if bnorms[c] == 0 {
+			stats[c].Converged = true // x stays zero, like the single driver
+			continue
+		}
+		needsProject[c] = true
+		active = append(active, c)
+	}
+	rzs := make([]float64, k)
+	ps := make([][]float64, k)
+	prevRs := make([][]float64, k)
+	if len(active) > 0 {
+		zs := precond(gatherCols(rs, active))
+		matrix.ProjectOutConstantMaskedBatchW(workers, zs, comp, numComp)
+		dots := matrix.DotBatchW(workers, gatherCols(rs, active), zs)
+		for i, c := range active {
+			ps[c] = matrix.CopyVec(zs[i])
+			rzs[c] = dots[i]
+			prevRs[c] = matrix.CopyVec(rs[c])
+		}
+	}
+	scal := make([]float64, k)
+	for it := 0; it < maxIter && len(active) > 0; it++ {
+		for _, c := range active {
+			stats[c].Iterations = it + 1
+		}
+		actP := gatherCols(ps, active)
+		actAP := gatherCols(aps, active)
+		a.MulVecBatchW(workers, actP, actAP)
+		paps := matrix.DotBatchW(workers, actP, actAP)
+		// Columns whose preconditioner broke positive-definiteness stop here.
+		alive := active[:0:len(active)]
+		alphas := scal[:0]
+		for i, c := range active {
+			pap := paps[i]
+			if pap <= 0 || math.IsNaN(pap) {
+				continue
+			}
+			alive = append(alive, c)
+			alphas = append(alphas, rzs[c]/pap)
+		}
+		active = alive
+		if len(active) == 0 {
+			break
+		}
+		matrix.AxpyBatchW(workers, gatherCols(xs, active), alphas, gatherCols(ps, active), gatherCols(xs, active))
+		negAlphas := make([]float64, len(alphas))
+		for i := range alphas {
+			negAlphas[i] = -alphas[i]
+		}
+		matrix.AxpyBatchW(workers, gatherCols(rs, active), negAlphas, gatherCols(aps, active), gatherCols(rs, active))
+		norms := matrix.Norm2BatchW(workers, gatherCols(rs, active))
+		rec.Add(int64(len(active))*int64(a.NNZ()+10*n), 2)
+		alive = active[:0:len(active)]
+		for i, c := range active {
+			res := norms[i] / bnorms[c]
+			stats[c].Residual = res
+			if res <= tol {
+				stats[c].Converged = true
+				continue
+			}
+			alive = append(alive, c)
+		}
+		active = alive
+		if len(active) == 0 {
+			break
+		}
+		// One chain pass for every still-active column.
+		zs := precond(gatherCols(rs, active))
+		matrix.ProjectOutConstantMaskedBatchW(workers, zs, comp, numComp)
+		diffs := make([][]float64, len(active))
+		for i := range diffs {
+			diffs[i] = make([]float64, n)
+		}
+		matrix.SubIntoBatchW(workers, diffs, gatherCols(rs, active), gatherCols(prevRs, active))
+		zdiffs := matrix.DotBatchW(workers, zs, diffs)
+		newRzs := matrix.DotBatchW(workers, gatherCols(rs, active), zs)
+		betas := make([]float64, len(active))
+		var fallback []int // active positions needing the unpreconditioned direction
+		for i, c := range active {
+			beta := zdiffs[i] / rzs[c]
+			if beta < 0 || math.IsNaN(beta) {
+				beta = 0 // restart
+			}
+			betas[i] = beta
+			rzs[c] = newRzs[i]
+			if rzs[c] <= 0 || math.IsNaN(rzs[c]) {
+				fallback = append(fallback, i)
+			}
+		}
+		if len(fallback) > 0 {
+			fbCols := make([]int, len(fallback))
+			for j, i := range fallback {
+				fbCols[j] = active[i]
+			}
+			fbRs := gatherCols(rs, fbCols)
+			rrs := matrix.DotBatchW(workers, fbRs, fbRs)
+			for j, i := range fallback {
+				c := active[i]
+				rzs[c] = rrs[j]
+				zs[i] = matrix.CopyVec(rs[c])
+			}
+		}
+		matrix.AxpyBatchW(workers, gatherCols(ps, active), betas, gatherCols(ps, active), zs)
+		for _, c := range active {
+			copy(prevRs[c], rs[c])
+		}
+	}
+	var project []int
+	for c := 0; c < k; c++ {
+		if needsProject[c] {
+			project = append(project, c)
+		}
+	}
+	if len(project) > 0 {
+		matrix.ProjectOutConstantMaskedBatchW(workers, gatherCols(xs, project), comp, numComp)
+	}
+	w, dep := rec.Work(), rec.Depth()
+	for c := range stats {
+		stats[c].Work, stats[c].Depth = w, dep
+	}
+	return xs, stats
+}

@@ -78,6 +78,15 @@ type Level struct {
 }
 
 // Chain is the full preconditioning chain (Definition 6.3).
+//
+// Concurrency contract: a Chain is READ-ONLY after Build returns. All
+// level state — graphs, Laplacians, elimination logs, the calibrated
+// Chebyshev schedule (calibration runs exclusively at build time) — is
+// immutable thereafter, and every per-solve temporary lives in
+// solve-call-local buffers, so any number of goroutines may call
+// PrecondApply/PrecondApplyW (and the Solver's Solve methods above it)
+// concurrently on one Chain. The only mutating fields are the atomic
+// bottomSolves counter and the (atomic) work/depth recorder.
 type Chain struct {
 	Levels  []Level
 	Bottom  *matrix.LaplacianFactor
@@ -136,6 +145,7 @@ func BuildChainOpts(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder
 			break
 		}
 		sp := p.Sparsify
+		sp.Workers = w
 		sp.Kappa = kappa
 		kappa *= p.KappaGrowth
 		res := IncrementalSparsify(cur, sp, rng, rec)
@@ -166,7 +176,7 @@ func BuildChainOpts(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder
 		return nil, fmt.Errorf("solver: chain truncation left %d vertices (> %d) for the dense bottom solve; increase MaxLevels or adjust sparsifier", cur.N, p.MaxBottomVertices)
 	}
 	comp, k := cur.ConnectedComponents()
-	bf, err := matrix.NewLaplacianFactor(matrix.LaplacianOfW(w, cur), comp, k)
+	bf, err := matrix.NewLaplacianFactorW(w, matrix.LaplacianOfW(w, cur), comp, k)
 	if err != nil {
 		return nil, fmt.Errorf("solver: bottom factorization: %w", err)
 	}
@@ -225,7 +235,7 @@ func (c *Chain) calibrate(rng *rand.Rand) {
 		ax := make([]float64, n)
 		for it := 0; it < 12; it++ {
 			lvl.Lap.MulVecW(w, x, ax)
-			y := c.applyH(i, ax)
+			y := c.applyH(w, i, ax)
 			matrix.ProjectOutConstantMaskedW(w, y, lvl.Comp, lvl.NumComp)
 			ny := matrix.Norm2W(w, y)
 			if ny == 0 {
@@ -280,7 +290,7 @@ func mergeParallelW(workers int, g *graph.Graph) *graph.Graph {
 		}
 		edges[j] = e
 	})
-	return graph.FromEdges(g.N, edges)
+	return graph.FromEdgesW(workers, g.N, edges)
 }
 
 // mergeParallel is mergeParallelW with the default worker count.
@@ -303,16 +313,16 @@ func (c *Chain) EdgeCounts() []int {
 // solveLevel approximately solves A_i x = b by preconditioned Chebyshev
 // iteration with the next level as preconditioner; the bottom level solves
 // exactly (Lemma 6.7 / 6.8 recursion).
-func (c *Chain) solveLevel(i int, b []float64) []float64 {
+func (c *Chain) solveLevel(workers, i int, b []float64) []float64 {
 	if i >= len(c.Levels) {
 		c.bottomSolves.Add(1)
 		nb := int64(c.BottomG.N)
 		c.rec.Add(nb*nb, 1)
-		return c.Bottom.Solve(b)
+		return c.Bottom.SolveW(workers, b)
 	}
 	lvl := &c.Levels[i]
-	return chebyshev(c.Opt.Workers, lvl.Lap, b, lvl.ChebIts, lvl.EigLo, lvl.EigHi,
-		func(r []float64) []float64 { return c.applyH(i, r) },
+	return chebyshev(workers, lvl.Lap, b, lvl.ChebIts, lvl.EigLo, lvl.EigHi,
+		func(r []float64) []float64 { return c.applyH(workers, i, r) },
 		lvl.Comp, lvl.NumComp, c.rec)
 }
 
@@ -320,22 +330,30 @@ func (c *Chain) solveLevel(i int, b []float64) []float64 {
 // elimination into A_{i+1}, a recursive solve there, and back-substitution.
 // The κ scaling of the subgraph inside H is part of H's definition, so no
 // extra scaling appears here.
-func (c *Chain) applyH(i int, r []float64) []float64 {
-	w := c.Opt.Workers
+func (c *Chain) applyH(workers, i int, r []float64) []float64 {
 	lvl := &c.Levels[i]
-	red, carry := lvl.Elim.ForwardRHSW(w, r)
-	xr := c.solveLevel(i+1, red)
-	z := lvl.Elim.BackSolveW(w, xr, carry)
-	matrix.ProjectOutConstantMaskedW(w, z, lvl.Comp, lvl.NumComp)
+	red, carry := lvl.Elim.ForwardRHSW(workers, r)
+	xr := c.solveLevel(workers, i+1, red)
+	z := lvl.Elim.BackSolveW(workers, xr, carry)
+	matrix.ProjectOutConstantMaskedW(workers, z, lvl.Comp, lvl.NumComp)
 	c.rec.Add(int64(len(lvl.Elim.Ops))+int64(len(r)), int64(lvl.Elim.Rounds)+1)
 	return z
 }
 
 // PrecondApply exposes one application of the top-level preconditioner
 // (H_1⁻¹ through the whole chain), used by the PCG driver and experiments.
+// Safe for concurrent use (see the Chain concurrency contract).
 func (c *Chain) PrecondApply(r []float64) []float64 {
+	return c.PrecondApplyW(c.Opt.Workers, r)
+}
+
+// PrecondApplyW is PrecondApply with a per-call worker count, letting a
+// serving layer split a global worker budget across concurrent solves
+// without rebuilding the chain. Results are bitwise identical for every
+// workers value.
+func (c *Chain) PrecondApplyW(workers int, r []float64) []float64 {
 	if len(c.Levels) == 0 {
-		return c.Bottom.Solve(r)
+		return c.Bottom.SolveW(workers, r)
 	}
-	return c.applyH(0, r)
+	return c.applyH(workers, 0, r)
 }

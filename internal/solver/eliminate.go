@@ -251,7 +251,7 @@ func GreedyEliminationW(workers int, g *graph.Graph, rng *rand.Rand, rec *wd.Rec
 		}
 		return edges[i].V < edges[j].V
 	})
-	el.Reduced = graph.FromEdges(len(el.Keep), edges)
+	el.Reduced = graph.FromEdgesW(workers, len(el.Keep), edges)
 	return el
 }
 
@@ -315,6 +315,69 @@ func (el *Elimination) ForwardRHSW(workers int, b []float64) (reduced, carry []f
 	return reduced, carry
 }
 
+// ForwardRHSBatchW pushes k right-hand sides through the elimination with
+// one replay of the op log: each op's reads and writes loop over the columns
+// before advancing, so the log (and its cache traffic) is traversed once per
+// round instead of once per RHS. Column c of the result is bitwise identical
+// to ForwardRHSW on bs[c] alone.
+func (el *Elimination) ForwardRHSBatchW(workers int, bs [][]float64) (reduced, carry [][]float64) {
+	kcols := len(bs)
+	if kcols == 1 {
+		r1, c1 := el.ForwardRHSW(workers, bs[0])
+		return [][]float64{r1}, [][]float64{c1}
+	}
+	works := make([][]float64, kcols)
+	for c := range works {
+		works[c] = make([]float64, el.OrigN)
+		copy(works[c], bs[c])
+	}
+	carry = make([][]float64, kcols)
+	for c := range carry {
+		carry[c] = make([]float64, len(el.Ops))
+	}
+	for ri := 0; ri < el.Rounds; ri++ {
+		lo, hi := el.roundBounds(ri)
+		ops := el.Ops[lo:hi]
+		par.ForChunkedW(workers, len(ops), func(clo, chi int) {
+			for k := clo; k < chi; k++ {
+				v := ops[k].V
+				for c := 0; c < kcols; c++ {
+					carry[c][lo+k] = works[c][v]
+				}
+			}
+		})
+		for k := range ops {
+			op := &ops[k]
+			switch op.Kind {
+			case elimDeg1:
+				for c := 0; c < kcols; c++ {
+					works[c][op.A] += carry[c][lo+k]
+				}
+			case elimDeg2:
+				s := op.W1 + op.W2
+				for c := 0; c < kcols; c++ {
+					bv := carry[c][lo+k]
+					works[c][op.A] += bv * op.W1 / s
+					works[c][op.B] += bv * op.W2 / s
+				}
+			}
+		}
+	}
+	reduced = make([][]float64, kcols)
+	for c := range reduced {
+		reduced[c] = make([]float64, len(el.Keep))
+	}
+	par.ForChunkedW(workers, len(el.Keep), func(clo, chi int) {
+		for j := clo; j < chi; j++ {
+			kv := el.Keep[j]
+			for c := 0; c < kcols; c++ {
+				reduced[c][j] = works[c][kv]
+			}
+		}
+	})
+	return reduced, carry
+}
+
 // BackSolve extends a solution of the reduced system with the default worker
 // count; see BackSolveW.
 func (el *Elimination) BackSolve(xReduced, carry []float64) []float64 {
@@ -355,4 +418,49 @@ func (el *Elimination) BackSolveW(workers int, xReduced, carry []float64) []floa
 		})
 	}
 	return x
+}
+
+// BackSolveBatchW is BackSolveW over k columns with one reverse replay of
+// the op log. Column c is bitwise identical to BackSolveW on column c.
+func (el *Elimination) BackSolveBatchW(workers int, xReduced, carry [][]float64) [][]float64 {
+	kcols := len(xReduced)
+	if kcols == 1 {
+		return [][]float64{el.BackSolveW(workers, xReduced[0], carry[0])}
+	}
+	xs := make([][]float64, kcols)
+	for c := range xs {
+		xs[c] = make([]float64, el.OrigN)
+	}
+	par.ForChunkedW(workers, len(el.Keep), func(clo, chi int) {
+		for j := clo; j < chi; j++ {
+			kv := el.Keep[j]
+			for c := 0; c < kcols; c++ {
+				xs[c][kv] = xReduced[c][j]
+			}
+		}
+	})
+	for ri := el.Rounds - 1; ri >= 0; ri-- {
+		lo, hi := el.roundBounds(ri)
+		ops := el.Ops[lo:hi]
+		par.ForChunkedW(workers, len(ops), func(clo, chi int) {
+			for k := clo; k < chi; k++ {
+				op := &ops[k]
+				switch op.Kind {
+				case elimDeg0:
+					for c := 0; c < kcols; c++ {
+						xs[c][op.V] = 0
+					}
+				case elimDeg1:
+					for c := 0; c < kcols; c++ {
+						xs[c][op.V] = xs[c][op.A] + carry[c][lo+k]/op.W1
+					}
+				case elimDeg2:
+					for c := 0; c < kcols; c++ {
+						xs[c][op.V] = (op.W1*xs[c][op.A] + op.W2*xs[c][op.B] + carry[c][lo+k]) / (op.W1 + op.W2)
+					}
+				}
+			}
+		})
+	}
+	return xs
 }

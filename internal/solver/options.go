@@ -4,17 +4,13 @@ package solver
 // the numerical ChainParams. It exists so the same chain can be driven
 // sequentially and in parallel and the two runs compared: the pipeline's
 // iteration-time kernels (CSR construction, AXPY/dot/residual, the
-// elimination forward/back substitutions, Chebyshev and PCG iteration) and
-// the chain-level construction kernels are selected through Workers, and
-// par's fixed-grain reductions make the results bitwise identical across
-// settings.
-//
-// Scope note: the sparsification sub-stages reached through
-// IncrementalSparsify (low-stretch subgraph construction, stretch scoring,
-// low-diameter decomposition) currently run on the process-default worker
-// count regardless of Workers — their results are worker-count-independent
-// by the same fixed-grain design, but Workers:1 does not make *construction*
-// single-goroutine end-to-end (see ROADMAP open items).
+// elimination forward/back substitutions, Chebyshev and PCG iteration),
+// the chain-level construction kernels, AND the sparsification sub-stages
+// (low-stretch subgraph construction, stretch scoring, low-diameter
+// decomposition — threaded through lowstretch.Params.Workers and
+// decomp.Params.Workers) are all selected through Workers, so Workers:1 is
+// single-goroutine end-to-end, and par's fixed-grain reductions make the
+// results bitwise identical across settings.
 type Options struct {
 	// Workers is the number of goroutines used by the solver's parallel
 	// kernels: 0 means runtime.GOMAXPROCS(0), 1 forces the sequential

@@ -59,15 +59,62 @@ func NewWithOptions(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder
 // wrapper around the paper's rPCh recursion; the inner recursion is exactly
 // Lemma 6.7's fixed-degree Chebyshev). The right-hand side is projected
 // onto range(L) per connected component first.
+//
+// A Solver is read-only after construction: Solve (and SolveOpts /
+// SolveBatch) keep all per-solve state in call-local buffers, so any number
+// of goroutines may solve concurrently on one shared Solver, and — because
+// every parallel reduction uses a fixed combining tree — each goroutine gets
+// the bitwise-identical answer it would have gotten solving alone.
 func (s *Solver) Solve(b []float64, eps float64) ([]float64, SolveStats) {
+	return s.SolveOpts(b, eps, s.Opt)
+}
+
+// SolveOpts is Solve with a per-call execution policy: opt.Workers selects
+// the worker count for this one solve without rebuilding anything, which is
+// how a serving layer splits a global worker budget across concurrent
+// requests. Results are bitwise identical for every Workers value.
+func (s *Solver) SolveOpts(b []float64, eps float64, opt Options) ([]float64, SolveStats) {
 	if eps <= 0 {
 		eps = 1e-8
 	}
+	w := opt.Workers
 	pre := func(r []float64) []float64 {
-		return s.Chain.PrecondApply(r)
+		return s.Chain.PrecondApplyW(w, r)
 	}
-	x, st := pcgFlexible(s.Opt.Workers, s.Lap, b, pre, s.Comp, s.NumComp, eps, s.MaxIter, s.rec)
+	x, st := pcgFlexible(w, s.Lap, b, pre, s.Comp, s.NumComp, eps, s.MaxIter, s.rec)
 	return x, st
+}
+
+// SolveBatch solves the k right-hand sides bs against the same Laplacian in
+// one batched PCG run: every iteration performs a single pass through the
+// preconditioner chain (one elimination-log replay, one Chebyshev sweep per
+// level, one CSR traversal per mat-vec, one dense bottom solve) serving all
+// still-active columns, amortizing the chain's memory traffic across the
+// batch. Column c of the result is bitwise identical to Solve(bs[c], eps):
+// batching changes traversal sharing, never arithmetic. Columns converge
+// (and drop out) independently.
+func (s *Solver) SolveBatch(bs [][]float64, eps float64) ([][]float64, []SolveStats) {
+	return s.SolveBatchOpts(bs, eps, s.Opt)
+}
+
+// SolveBatchOpts is SolveBatch with a per-call execution policy; see
+// SolveOpts.
+func (s *Solver) SolveBatchOpts(bs [][]float64, eps float64, opt Options) ([][]float64, []SolveStats) {
+	if len(bs) == 0 {
+		return nil, nil
+	}
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	if len(bs) == 1 {
+		x, st := s.SolveOpts(bs[0], eps, opt)
+		return [][]float64{x}, []SolveStats{st}
+	}
+	w := opt.Workers
+	pre := func(rs [][]float64) [][]float64 {
+		return s.Chain.PrecondApplyBatchW(w, rs)
+	}
+	return pcgFlexibleBatch(w, s.Lap, bs, pre, s.Comp, s.NumComp, eps, s.MaxIter, s.rec)
 }
 
 // SolveChebyshev is the paper-faithful solver: top-level preconditioned
@@ -157,13 +204,13 @@ func NewSDD(a *matrix.Sparse, p ChainParams, rec *wd.Recorder) (*SDDSolver, erro
 // NewSDDWithOptions is NewSDD with an explicit execution policy.
 func NewSDDWithOptions(a *matrix.Sparse, p ChainParams, opt Options, rec *wd.Recorder) (*SDDSolver, error) {
 	if matrix.IsLaplacian(a, 1e-9) {
-		ls, err := NewWithOptions(matrix.GraphOf(a), p, opt, rec)
+		ls, err := NewWithOptions(matrix.GraphOfW(opt.Workers, a), p, opt, rec)
 		if err != nil {
 			return nil, err
 		}
 		return &SDDSolver{A: a, lap: ls, direct: true}, nil
 	}
-	gr, err := matrix.NewGrembanReduction(a, 0)
+	gr, err := matrix.NewGrembanReductionW(opt.Workers, a, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -181,4 +228,22 @@ func (s *SDDSolver) Solve(b []float64, eps float64) ([]float64, SolveStats) {
 	}
 	y, st := s.lap.Solve(s.gr.Lift(b), eps)
 	return s.gr.Project(y), st
+}
+
+// SolveBatch solves k right-hand sides in one batched run; see
+// Solver.SolveBatch for the sharing and bitwise-equivalence guarantees.
+func (s *SDDSolver) SolveBatch(bs [][]float64, eps float64) ([][]float64, []SolveStats) {
+	if s.direct {
+		return s.lap.SolveBatch(bs, eps)
+	}
+	lifted := make([][]float64, len(bs))
+	for c, b := range bs {
+		lifted[c] = s.gr.Lift(b)
+	}
+	ys, sts := s.lap.SolveBatch(lifted, eps)
+	xs := make([][]float64, len(ys))
+	for c, y := range ys {
+		xs[c] = s.gr.Project(y)
+	}
+	return xs, sts
 }

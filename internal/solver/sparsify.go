@@ -23,6 +23,11 @@ type SparsifyParams struct {
 	// PaperConstants switches the subgraph construction to the paper-exact
 	// parameter schedule.
 	PaperConstants bool
+	// Workers is the goroutine count threaded into the sparsification
+	// sub-stages (low-stretch subgraph construction, decomposition, stretch
+	// machinery): 0 = GOMAXPROCS, 1 = sequential. BuildChainOpts sets it
+	// from Options.Workers, making Workers:1 single-goroutine end-to-end.
+	Workers int
 }
 
 // DefaultSparsifyParams returns settings that shrink benchmark graphs by a
@@ -69,8 +74,10 @@ func IncrementalSparsify(g *graph.Graph, p SparsifyParams, rng *rand.Rand, rec *
 		}
 		lengths[i] = graph.Edge{U: e.U, V: e.V, W: 1 / w}
 	}
-	lg := graph.FromEdges(n, lengths)
+	lg := graph.FromEdgesW(p.Workers, n, lengths)
 	lsp := lowstretch.ParamsForBeta(n, p.Beta, p.Lambda, p.PaperConstants)
+	lsp.Workers = p.Workers
+	lsp.Decomp.Workers = p.Workers
 	sub, _ := lowstretch.LSSubgraph(lg, lsp, rng, rec)
 	inSub := make([]bool, len(g.Edges))
 	for _, id := range sub.EdgeIDs() {
@@ -109,7 +116,7 @@ func IncrementalSparsify(g *graph.Graph, p SparsifyParams, rng *rand.Rand, rec *
 	if off := len(g.Edges) - len(res.Subgraph); off > 0 {
 		res.StretchS = totalStretch / float64(off)
 	}
-	res.H = graph.FromEdges(n, edges)
+	res.H = graph.FromEdgesW(p.Workers, n, edges)
 	rec.Add(int64(len(g.Edges)), 1)
 	return res
 }
