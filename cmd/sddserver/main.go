@@ -32,16 +32,18 @@ import (
 )
 
 var (
-	addr        = flag.String("addr", ":8080", "listen address")
-	maxGraphs   = flag.Int("max-graphs", 16, "chain-cache capacity (LRU eviction beyond it)")
-	maxInflight = flag.Int("max-inflight", 4, "concurrently executing solves; more requests queue")
-	workers     = flag.Int("workers", 0, "global worker budget split across solve slots (0 = GOMAXPROCS)")
-	defaultEps  = flag.Float64("eps", 1e-8, "default relative residual target when a request omits eps")
-	maxBatch    = flag.Int("max-batch", 64, "maximum right-hand sides per solve request")
-	maxBuilds   = flag.Int("max-builds", 2, "concurrently executing chain builds; more registrations queue")
-	maxVerts    = flag.Int("max-vertices", 2_000_000, "reject graphs larger than this many vertices")
-	maxEdges    = flag.Int("max-edges", 16_000_000, "reject graphs larger than this many edges")
-	kappa       = flag.Float64("kappa", 0, "override the sparsifier's condition target κ (0 = default)")
+	addr          = flag.String("addr", ":8080", "listen address")
+	maxGraphs     = flag.Int("max-graphs", 16, "chain-cache capacity in entries (LRU eviction beyond it)")
+	maxCacheBytes = flag.Int64("max-cache-bytes", 2<<30, "chain-cache capacity in estimated bytes (evicts alongside -max-graphs)")
+	maxInflight   = flag.Int("max-inflight", 4, "concurrently executing solves; more requests queue")
+	maxPerGraph   = flag.Int("max-inflight-per-graph", 0, "solve slots one graph may hold while others wait (0 = max-inflight/2)")
+	workers       = flag.Int("workers", 0, "global worker budget split across solve slots (0 = GOMAXPROCS)")
+	defaultEps    = flag.Float64("eps", 1e-8, "default relative residual target when a request omits eps")
+	maxBatch      = flag.Int("max-batch", 64, "maximum right-hand sides per solve request")
+	maxBuilds     = flag.Int("max-builds", 2, "concurrently executing chain builds; more registrations queue")
+	maxVerts      = flag.Int("max-vertices", 2_000_000, "reject graphs larger than this many vertices")
+	maxEdges      = flag.Int("max-edges", 16_000_000, "reject graphs larger than this many edges")
+	kappa         = flag.Float64("kappa", 0, "override the sparsifier's condition target κ (0 = default)")
 )
 
 func main() {
@@ -52,7 +54,9 @@ func main() {
 	}
 	srv := service.New(service.Config{
 		MaxGraphs:           *maxGraphs,
+		MaxCacheBytes:       *maxCacheBytes,
 		MaxInflight:         *maxInflight,
+		MaxInflightPerGraph: *maxPerGraph,
 		Workers:             *workers,
 		DefaultEps:          *defaultEps,
 		MaxBatch:            *maxBatch,

@@ -63,31 +63,81 @@ func (g *Graph) DijkstraBounded(s int, bound float64) []float64 {
 	return dist
 }
 
+// DistBuffer is reusable scratch state for point-to-point shortest-path
+// queries: epoch-stamped dist/done slices (a slot is valid only when its
+// stamp equals the current epoch, so clearing between queries is a single
+// counter increment, not an O(n) wipe or a fresh map) plus a reusable heap.
+// It replaces the per-call map[int]float64/map[int]bool tables that made
+// every stretch-scorer query allocate. A DistBuffer belongs to one
+// goroutine; create one per worker and reuse it across queries.
+type DistBuffer struct {
+	dist      []float64
+	distStamp []uint32
+	doneStamp []uint32
+	epoch     uint32
+	heap      distHeap
+}
+
+// NewDistBuffer returns a DistBuffer sized for g's vertex set.
+func (g *Graph) NewDistBuffer() *DistBuffer {
+	return &DistBuffer{
+		dist:      make([]float64, g.N),
+		distStamp: make([]uint32, g.N),
+		doneStamp: make([]uint32, g.N),
+	}
+}
+
+// next advances the epoch, invalidating every slot in O(1). On the (rare)
+// wraparound the stamp arrays are wiped so stale stamps from 2³² queries ago
+// cannot alias the fresh epoch.
+func (b *DistBuffer) next() {
+	if b.epoch == math.MaxUint32 {
+		for i := range b.distStamp {
+			b.distStamp[i] = 0
+			b.doneStamp[i] = 0
+		}
+		b.epoch = 0
+	}
+	b.epoch++
+	b.heap = b.heap[:0]
+}
+
 // DijkstraTo returns the shortest-path length from s to t (weights as
 // lengths), terminating early once t is settled. +Inf if unreachable.
+// It allocates a fresh DistBuffer; loops over many queries should hold a
+// per-goroutine buffer and call DijkstraToBuf instead.
 func (g *Graph) DijkstraTo(s, t int) float64 {
-	dist := make(map[int]float64, 64)
-	done := make(map[int]bool, 64)
-	dist[s] = 0
-	h := &distHeap{{s, 0}}
+	return g.DijkstraToBuf(g.NewDistBuffer(), s, t)
+}
+
+// DijkstraToBuf is DijkstraTo using buf for all per-query state; no
+// allocations beyond heap growth, which the buffer retains across calls.
+func (g *Graph) DijkstraToBuf(buf *DistBuffer, s, t int) float64 {
+	buf.next()
+	ep := buf.epoch
+	buf.dist[s] = 0
+	buf.distStamp[s] = ep
+	buf.heap = append(buf.heap, distHeapItem{s, 0})
+	h := &buf.heap
 	for h.Len() > 0 {
 		it := heap.Pop(h).(distHeapItem)
-		if done[it.v] {
+		if buf.doneStamp[it.v] == ep {
 			continue
 		}
-		done[it.v] = true
+		buf.doneStamp[it.v] = ep
 		if it.v == t {
 			return it.d
 		}
 		u := it.v
 		for i := g.Off[u]; i < g.Off[u+1]; i++ {
 			v := g.Adj[i]
-			if done[v] {
+			if buf.doneStamp[v] == ep {
 				continue
 			}
 			nd := it.d + g.Wt[i]
-			if old, ok := dist[v]; !ok || nd < old {
-				dist[v] = nd
+			if buf.distStamp[v] != ep || nd < buf.dist[v] {
+				buf.dist[v] = nd
+				buf.distStamp[v] = ep
 				heap.Push(h, distHeapItem{v, nd})
 			}
 		}

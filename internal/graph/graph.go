@@ -79,71 +79,37 @@ func FromEdgesW(workers, n int, edges []Edge) *Graph {
 	return g
 }
 
-// buildCSRW (re)builds the CSR arrays from g.Edges using a parallel
-// count + prefix-sum + scatter.
+// buildCSRW (re)builds the CSR arrays from g.Edges using the offset-
+// precomputed pack of par.HalfEdgePackW: per-chunk degree counts, a prefix
+// sum, and per-(chunk, vertex) starting offsets make the half-edge scatter
+// conflict-free without atomics. The layout matches the classic sequential
+// cursor scatter for every worker count.
 func (g *Graph) buildCSRW(workers int) {
 	n, m := g.N, len(g.Edges)
-	deg := make([]int, n)
-	p := workers
-	if p <= 0 {
-		p = par.Workers()
-	}
-	// Counting is a scatter with potential conflicts; for determinism and
-	// simplicity count sequentially when small, else use per-chunk local
-	// counts merged once (integer sums: order-independent).
-	if p == 1 || m < par.SequentialThreshold {
-		for _, e := range g.Edges {
-			deg[e.U]++
-			if e.U != e.V {
-				deg[e.V]++
-			} else {
-				deg[e.V]++ // self-loop contributes two half-edges at same vertex
-			}
-		}
-	} else {
-		chunks := p * 4
-		if chunks > m {
-			chunks = m
-		}
-		chunk := (m + chunks - 1) / chunks
-		numChunks := (m + chunk - 1) / chunk
-		local := make([][]int, numChunks)
-		par.ForW(workers, numChunks, func(c int) {
-			lo, hi := c*chunk, (c+1)*chunk
-			if hi > m {
-				hi = m
-			}
-			l := make([]int, n)
-			for _, e := range g.Edges[lo:hi] {
-				l[e.U]++
-				l[e.V]++
-			}
-			local[c] = l
-		})
-		par.ForW(workers, n, func(v int) {
-			d := 0
-			for c := 0; c < numChunks; c++ {
-				d += local[c][v]
-			}
-			deg[v] = d
-		})
-	}
-	g.Off = par.PrefixSumIntW(workers, deg)
+	var pos []int
+	g.Off, pos = par.HalfEdgePackW(workers, n, m, func(i int) (int, int) {
+		e := g.Edges[i]
+		return e.U, e.V
+	})
 	g.Adj = make([]int, 2*m)
 	g.Wt = make([]float64, 2*m)
 	g.EdgeID = make([]int, 2*m)
-	cursor := make([]int, n)
-	copy(cursor, g.Off[:n])
-	// Scatter sequentially: conflict-free parallel scatter would need per-
-	// vertex atomics; CSR build is not a measured code path.
-	for id, e := range g.Edges {
-		cu := cursor[e.U]
-		g.Adj[cu], g.Wt[cu], g.EdgeID[cu] = e.V, e.W, id
-		cursor[e.U]++
-		cv := cursor[e.V]
-		g.Adj[cv], g.Wt[cv], g.EdgeID[cv] = e.U, e.W, id
-		cursor[e.V]++
-	}
+	par.ForChunkedW(workers, m, func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			e := g.Edges[id]
+			cu, cv := pos[2*id], pos[2*id+1]
+			g.Adj[cu], g.Wt[cu], g.EdgeID[cu] = e.V, e.W, id
+			g.Adj[cv], g.Wt[cv], g.EdgeID[cv] = e.U, e.W, id
+		}
+	})
+}
+
+// MemoryBytes estimates the graph's retained footprint: the edge list plus
+// the CSR arrays. Used by serving layers that budget cache memory in bytes.
+func (g *Graph) MemoryBytes() int64 {
+	return int64(len(g.Edges))*24 +
+		int64(len(g.Off)+len(g.Adj)+len(g.EdgeID))*8 +
+		int64(len(g.Wt))*8
 }
 
 // Degree returns the number of half-edges at u (self-loops count twice).

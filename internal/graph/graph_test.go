@@ -544,3 +544,65 @@ func TestSortEdgesByWeight(t *testing.T) {
 		}
 	}
 }
+
+// TestDijkstraToBufReuse drives one DistBuffer through many queries on a
+// random graph and checks every answer against the full Dijkstra — stale
+// epochs from earlier queries must never leak into later ones.
+func TestDijkstraToBufReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n := 120
+	var edges []Edge
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{U: rng.Intn(i), V: i, W: 0.5 + rng.Float64()})
+	}
+	for k := 0; k < 80; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, Edge{U: u, V: v, W: 0.5 + 2*rng.Float64()})
+		}
+	}
+	// A disconnected island exercises the +Inf (unreachable) path.
+	g := FromEdges(n+2, append(edges, Edge{U: n, V: n + 1, W: 1}))
+	buf := g.NewDistBuffer()
+	for q := 0; q < 200; q++ {
+		s, tt := rng.Intn(g.N), rng.Intn(g.N)
+		want := g.Dijkstra(s)[tt]
+		if got := g.DijkstraToBuf(buf, s, tt); got != want {
+			t.Fatalf("query %d (%d->%d): got %v, want %v", q, s, tt, got, want)
+		}
+	}
+}
+
+// TestBuildCSRWorkerEquivalence pins the packed CSR layout across the
+// worker axis: the offset-precomputed parallel scatter must reproduce the
+// sequential cursor layout array-for-array.
+func TestBuildCSRWorkerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 400
+	edges := make([]Edge, 9000)
+	for i := range edges {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if i%17 == 0 {
+			v = u // self-loops take two consecutive slots
+		}
+		edges[i] = Edge{U: u, V: v, W: rng.Float64()}
+	}
+	ref := FromEdgesW(1, n, edges)
+	for _, w := range []int{0, 2, 4} {
+		g := FromEdgesW(w, n, edges)
+		if len(g.Off) != len(ref.Off) || len(g.Adj) != len(ref.Adj) {
+			t.Fatalf("workers=%d: CSR shape differs", w)
+		}
+		for i := range ref.Off {
+			if g.Off[i] != ref.Off[i] {
+				t.Fatalf("workers=%d: Off[%d] differs", w, i)
+			}
+		}
+		for i := range ref.Adj {
+			if g.Adj[i] != ref.Adj[i] || g.Wt[i] != ref.Wt[i] || g.EdgeID[i] != ref.EdgeID[i] {
+				t.Fatalf("workers=%d: half-edge %d differs", w, i)
+			}
+		}
+	}
+}

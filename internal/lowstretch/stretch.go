@@ -192,9 +192,10 @@ func SubgraphStretchExact(g *graph.Graph, sub []int) ([]float64, StretchStats) {
 	m := len(g.Edges)
 	str := make([]float64, m)
 	par.ForChunked(m, func(lo, hi int) {
+		buf := h.NewDistBuffer() // one epoch-stamped scratch per chunk
 		for i := lo; i < hi; i++ {
 			e := g.Edges[i]
-			d := h.DijkstraTo(e.U, e.V)
+			d := h.DijkstraToBuf(buf, e.U, e.V)
 			if e.W <= 0 {
 				str[i] = 1
 			} else {
@@ -217,9 +218,10 @@ func SubgraphStretchSampled(g *graph.Graph, sub []int, k int, rng *rand.Rand) St
 	idx := rng.Perm(m)[:k]
 	str := make([]float64, k)
 	par.ForChunked(k, func(lo, hi int) {
+		buf := h.NewDistBuffer() // one epoch-stamped scratch per chunk
 		for i := lo; i < hi; i++ {
 			e := g.Edges[idx[i]]
-			d := h.DijkstraTo(e.U, e.V)
+			d := h.DijkstraToBuf(buf, e.U, e.V)
 			if e.W <= 0 {
 				str[i] = 1
 			} else {

@@ -18,6 +18,11 @@ type DenseFactor struct {
 	d []float64 // diagonal of D
 }
 
+// MemoryBytes returns the factor's retained footprint (the packed L and D).
+func (f *DenseFactor) MemoryBytes() int64 {
+	return int64(len(f.l)+len(f.d)) * 8
+}
+
 // NewDenseFactor factors the dense symmetric matrix a (row-major n×n) as
 // L·D·Lᵀ without pivoting. It returns an error when a zero (or negative
 // beyond roundoff) pivot is hit, which for our use signals a singular
@@ -161,6 +166,16 @@ type LaplacianFactor struct {
 	comp     []int
 	numComp  int
 	grounded []int // one grounded vertex per component
+}
+
+// MemoryBytes returns the factor's retained footprint: the dense LDLᵀ
+// factor (the O(n²) bulk of a chain's bottom level) plus the index maps.
+func (lf *LaplacianFactor) MemoryBytes() int64 {
+	b := int64(len(lf.keep)+len(lf.pos)+len(lf.comp)+len(lf.grounded)) * 8
+	if lf.factor != nil {
+		b += lf.factor.MemoryBytes()
+	}
+	return b
 }
 
 // NewLaplacianFactor densifies the Laplacian a and prepares a direct

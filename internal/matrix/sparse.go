@@ -27,6 +27,12 @@ type Sparse struct {
 // NNZ returns the number of stored entries.
 func (a *Sparse) NNZ() int { return len(a.Col) }
 
+// MemoryBytes estimates the matrix's retained footprint (CSR arrays plus
+// the cached diagonal).
+func (a *Sparse) MemoryBytes() int64 {
+	return int64(len(a.Off)+len(a.Col))*8 + int64(len(a.Val)+len(a.Diag))*8
+}
+
 // entry is a builder triplet.
 type entry struct {
 	r, c int

@@ -438,6 +438,101 @@ func FilterIndexW(workers, n int, keep func(i int) bool) []int {
 	return out
 }
 
+// HalfEdgePackW computes the CSR placement of m undirected edges over n
+// vertices without the sequential cursor scatter: per-chunk degree counts,
+// a prefix-sum over vertices, and per-(chunk, vertex) starting offsets let
+// every chunk scatter its own edges into disjoint slots. It returns off
+// (length n+1, the CSR row offsets) and pos (length 2m): pos[2i] is the slot
+// of edge i's U-side half-edge and pos[2i+1] its V-side slot.
+//
+// The layout is identical to the classic sequential scatter (edges processed
+// in index order, appending at a per-vertex cursor) for every worker count:
+// chunk c's edges land after the half-edges of chunks < c at the same vertex,
+// and in edge order within the chunk. Self-loops (u == v) occupy two
+// consecutive slots at their vertex, as the sequential cursor would place
+// them.
+func HalfEdgePackW(workers, n, m int, ends func(i int) (u, v int)) (off, pos []int) {
+	pos = make([]int, 2*m)
+	deg := make([]int, n)
+	p := resolve(workers)
+	if p == 1 || m < SequentialThreshold {
+		for i := 0; i < m; i++ {
+			u, v := ends(i)
+			deg[u]++
+			deg[v]++
+		}
+		off = ScanW(1, deg)
+		cursor := deg // reuse: overwrite with the running cursor
+		copy(cursor, off[:n])
+		for i := 0; i < m; i++ {
+			u, v := ends(i)
+			pos[2*i] = cursor[u]
+			cursor[u]++
+			pos[2*i+1] = cursor[v]
+			cursor[v]++
+		}
+		return off, pos
+	}
+	chunks := p * 4
+	if chunks > m {
+		chunks = m
+	}
+	chunk := (m + chunks - 1) / chunks
+	numChunks := (m + chunk - 1) / chunk
+	local := make([][]int, numChunks)
+	runTasks(p, numChunks, func(c int) {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > m {
+			hi = m
+		}
+		l := make([]int, n)
+		for i := lo; i < hi; i++ {
+			u, v := ends(i)
+			l[u]++
+			l[v]++
+		}
+		local[c] = l
+	})
+	ForW(workers, n, func(v int) {
+		d := 0
+		for c := 0; c < numChunks; c++ {
+			d += local[c][v]
+		}
+		deg[v] = d
+	})
+	off = ScanW(workers, deg)
+	// Turn each chunk's count into its starting cursor at that vertex:
+	// off[v] plus the half-edges earlier chunks place there.
+	ForW(workers, n, func(v int) {
+		run := off[v]
+		for c := 0; c < numChunks; c++ {
+			t := local[c][v]
+			local[c][v] = run
+			run += t
+		}
+	})
+	runTasks(p, numChunks, func(c int) {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > m {
+			hi = m
+		}
+		cursor := local[c]
+		for i := lo; i < hi; i++ {
+			u, v := ends(i)
+			pos[2*i] = cursor[u]
+			cursor[u]++
+			pos[2*i+1] = cursor[v]
+			cursor[v]++
+		}
+	})
+	return off, pos
+}
+
+// HalfEdgePack is HalfEdgePackW with the default worker count.
+func HalfEdgePack(n, m int, ends func(i int) (u, v int)) (off, pos []int) {
+	return HalfEdgePackW(0, n, m, ends)
+}
+
 // SortW sorts xs with the strict-weak order less, using a fixed-grain
 // parallel merge sort: leaf chunks of sortGrain elements are sorted
 // independently, then pairwise-merged over log(n/sortGrain) rounds with the

@@ -213,3 +213,63 @@ func BenchmarkPrefixSum(b *testing.B) {
 		_ = PrefixSumInt(src)
 	}
 }
+
+// halfEdgePackRef is the classic sequential cursor scatter HalfEdgePackW
+// must reproduce for every worker count.
+func halfEdgePackRef(n, m int, ends func(i int) (u, v int)) (off, pos []int) {
+	deg := make([]int, n)
+	for i := 0; i < m; i++ {
+		u, v := ends(i)
+		deg[u]++
+		deg[v]++
+	}
+	off = make([]int, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + deg[v]
+	}
+	cursor := make([]int, n)
+	copy(cursor, off[:n])
+	pos = make([]int, 2*m)
+	for i := 0; i < m; i++ {
+		u, v := ends(i)
+		pos[2*i] = cursor[u]
+		cursor[u]++
+		pos[2*i+1] = cursor[v]
+		cursor[v]++
+	}
+	return off, pos
+}
+
+func TestHalfEdgePackMatchesSequentialScatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, tc := range []struct{ n, m int }{
+		{0, 0}, {1, 0}, {5, 3}, {100, 257},
+		{300, SequentialThreshold + 500}, {37, 20000},
+	} {
+		us := make([]int, tc.m)
+		vs := make([]int, tc.m)
+		for i := range us {
+			us[i] = rng.Intn(tc.n)
+			if i%11 == 0 {
+				vs[i] = us[i] // self-loop: two slots at one vertex
+			} else {
+				vs[i] = rng.Intn(tc.n)
+			}
+		}
+		ends := func(i int) (int, int) { return us[i], vs[i] }
+		wantOff, wantPos := halfEdgePackRef(tc.n, tc.m, ends)
+		for _, w := range []int{1, 0, 2, 4} {
+			off, pos := HalfEdgePackW(w, tc.n, tc.m, ends)
+			for i := range wantOff {
+				if off[i] != wantOff[i] {
+					t.Fatalf("n=%d m=%d workers=%d: off[%d] = %d, want %d", tc.n, tc.m, w, i, off[i], wantOff[i])
+				}
+			}
+			for i := range wantPos {
+				if pos[i] != wantPos[i] {
+					t.Fatalf("n=%d m=%d workers=%d: pos[%d] = %d, want %d", tc.n, tc.m, w, i, pos[i], wantPos[i])
+				}
+			}
+		}
+	}
+}

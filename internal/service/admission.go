@@ -1,0 +1,146 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// admitter is the solve admission controller: a global bound on concurrently
+// executing solves, sharded per graph id so one hot graph cannot starve the
+// others, with a fair fallback that lets a lone graph use every slot when
+// nothing else is waiting.
+//
+// Policy: at most max solves run at once. A graph holding perGraph or more
+// slots is only granted another one when no request for a *different* graph
+// is waiting — so under contention each graph is capped at perGraph, while
+// an uncontended graph (the common single-tenant case) still gets the whole
+// budget. Waiters are served FIFO except for that cap: a capped waiter is
+// skipped, not cancelled, and becomes eligible again as soon as its graph
+// drops below perGraph or the competing waiters drain. The cap is a
+// priority rule, never a throughput limiter: when every waiter is at its
+// cap and slots are free, the FIFO head is admitted anyway (work
+// conservation).
+type admitter struct {
+	mu       sync.Mutex
+	max      int
+	perGraph int
+	total    int
+	byGraph  map[string]int
+	queue    list.List // of *admitWaiter, FIFO
+}
+
+// admitWaiter is one queued Acquire call.
+type admitWaiter struct {
+	id    string
+	ready chan struct{} // closed on admission
+	elem  *list.Element
+}
+
+func newAdmitter(max, perGraph int) *admitter {
+	return &admitter{max: max, perGraph: perGraph, byGraph: make(map[string]int)}
+}
+
+// otherGraphWaitingLocked reports whether any waiter besides skip wants a
+// different graph than id.
+func (a *admitter) otherGraphWaitingLocked(id string, skip *admitWaiter) bool {
+	for el := a.queue.Front(); el != nil; el = el.Next() {
+		w := el.Value.(*admitWaiter)
+		if w != skip && w.id != id {
+			return true
+		}
+	}
+	return false
+}
+
+// admissibleLocked reports whether a request for id may take a slot now,
+// ignoring the waiter's own queue entry (self).
+func (a *admitter) admissibleLocked(id string, self *admitWaiter) bool {
+	if a.total >= a.max {
+		return false
+	}
+	return a.byGraph[id] < a.perGraph || !a.otherGraphWaitingLocked(id, self)
+}
+
+// grantLocked hands waiter w its slot.
+func (a *admitter) grantLocked(w *admitWaiter) {
+	a.total++
+	a.byGraph[w.id]++
+	a.queue.Remove(w.elem)
+	close(w.ready)
+}
+
+// drainLocked fills free slots from the queue: each slot goes to the first
+// waiter (FIFO) under its per-graph cap; when every waiter is at its cap,
+// the slot goes to the FIFO head anyway — idling capacity that no under-cap
+// waiter can use would make the cap a throughput limiter instead of a
+// priority rule (work conservation).
+func (a *admitter) drainLocked() {
+	for a.total < a.max && a.queue.Len() > 0 {
+		granted := false
+		for el := a.queue.Front(); el != nil; el = el.Next() {
+			w := el.Value.(*admitWaiter)
+			if a.admissibleLocked(w.id, w) {
+				a.grantLocked(w)
+				granted = true
+				break
+			}
+		}
+		if !granted {
+			a.grantLocked(a.queue.Front().Value.(*admitWaiter))
+		}
+	}
+}
+
+// Acquire blocks until a solve slot for graph id is granted or ctx expires.
+func (a *admitter) Acquire(ctx context.Context, id string) error {
+	a.mu.Lock()
+	w := &admitWaiter{id: id, ready: make(chan struct{})}
+	w.elem = a.queue.PushBack(w)
+	a.drainLocked()
+	select {
+	case <-w.ready:
+		a.mu.Unlock()
+		return nil
+	default:
+	}
+	a.mu.Unlock()
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted while we were cancelling: return the slot.
+			a.releaseLocked(id)
+		default:
+			a.queue.Remove(w.elem)
+		}
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot held for graph id and admits newly eligible waiters.
+func (a *admitter) Release(id string) {
+	a.mu.Lock()
+	a.releaseLocked(id)
+	a.mu.Unlock()
+}
+
+func (a *admitter) releaseLocked(id string) {
+	a.total--
+	if a.byGraph[id]--; a.byGraph[id] <= 0 {
+		delete(a.byGraph, id)
+	}
+	a.drainLocked()
+}
+
+// Inflight returns the number of currently executing solves for id and in
+// total (stats surface).
+func (a *admitter) Inflight(id string) (graph, total int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.byGraph[id], a.total
+}

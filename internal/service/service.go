@@ -37,6 +37,18 @@ type Config struct {
 	// MaxInflight bounds concurrently executing solves; further requests
 	// queue until a slot frees (or their context expires). Default 4.
 	MaxInflight int
+	// MaxInflightPerGraph caps the solve slots one graph may hold while
+	// requests for *other* graphs are waiting — the per-graph sharding that
+	// keeps a hot graph from starving the rest. A graph with no competition
+	// still gets every slot (fair fallback). Default max(1, MaxInflight/2).
+	MaxInflightPerGraph int
+	// MaxCacheBytes bounds the total estimated memory retained by cached
+	// chains (graph + Laplacian + per-level sparsifier/elimination state +
+	// dense bottom factor, per entry). The LRU evicts to both this byte
+	// budget and the MaxGraphs count, so a handful of huge chains cannot
+	// OOM the server even while the entry count looks harmless.
+	// Default 2 GiB.
+	MaxCacheBytes int64
 	// Workers is the global worker budget split evenly across the
 	// MaxInflight solve slots (each admitted solve runs with
 	// max(1, Workers/MaxInflight) goroutines). 0 = GOMAXPROCS.
@@ -67,11 +79,12 @@ type Server struct {
 	cfg   Config
 	chain solver.ChainParams
 
-	mu      sync.Mutex
-	entries map[string]*entry
-	lru     *list.List // front = most recently used; values are *entry
+	mu         sync.Mutex
+	entries    map[string]*entry
+	lru        *list.List // front = most recently used; values are *entry
+	cacheBytes int64      // Σ entry.bytes of finished cached builds
 
-	sem      chan struct{} // solve admission slots
+	admit    *admitter     // per-graph-sharded solve admission
 	buildSem chan struct{} // build admission slots
 	inflight atomic.Int64
 
@@ -95,6 +108,7 @@ type entry struct {
 	solver   *solver.Solver
 	buildErr error
 	buildDur time.Duration
+	bytes    int64 // estimated retained footprint (set once, after build)
 
 	hits       atomic.Int64 // re-registrations served from cache
 	solves     atomic.Int64 // solve requests served
@@ -109,6 +123,15 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 4
+	}
+	if cfg.MaxInflightPerGraph <= 0 {
+		cfg.MaxInflightPerGraph = cfg.MaxInflight / 2
+		if cfg.MaxInflightPerGraph < 1 {
+			cfg.MaxInflightPerGraph = 1
+		}
+	}
+	if cfg.MaxCacheBytes <= 0 {
+		cfg.MaxCacheBytes = 2 << 30
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -137,7 +160,7 @@ func New(cfg Config) *Server {
 		chain:    chain,
 		entries:  make(map[string]*entry),
 		lru:      list.New(),
-		sem:      make(chan struct{}, cfg.MaxInflight),
+		admit:    newAdmitter(cfg.MaxInflight, cfg.MaxInflightPerGraph),
 		buildSem: make(chan struct{}, cfg.MaxConcurrentBuilds),
 		start:    time.Now(),
 	}
@@ -281,11 +304,20 @@ func (s *Server) Register(ctx context.Context, g *graph.Graph, source string) (e
 		// A failed build must not poison the cache key.
 		s.removeFailed(e)
 	}
+	if err == nil {
+		// Charge the entry's footprint before publishing it, so eviction
+		// never sees a finished entry with unaccounted bytes.
+		e.bytes = sv.MemoryBytes()
+		s.mu.Lock()
+		s.cacheBytes += e.bytes
+		s.mu.Unlock()
+	}
 	close(e.built)
 	if err == nil {
 		// Finished builds can now be eviction victims; trim any overshoot
-		// the in-flight-build exemption allowed. The freshly built entry is
-		// exempt — its registrar is about to return 200 with this id.
+		// (count or bytes) the in-flight-build exemption allowed. The
+		// freshly built entry is exempt — its registrar is about to return
+		// 200 with this id.
 		s.mu.Lock()
 		s.evictLocked(e)
 		s.mu.Unlock()
@@ -303,15 +335,17 @@ func (s *Server) removeFailed(e *entry) {
 	s.mu.Unlock()
 }
 
-// evictLocked trims the cache to MaxGraphs, evicting only the least
-// recently used *finished* entries: evicting an in-flight build (or the
-// exempt entry, whose registrar is about to hand out its id) would produce
-// a 200 registration whose id immediately 404s and would waste the build.
-// When every excess entry is still building the cache overshoots
-// temporarily (bounded by the concurrent-registration burst); each build's
-// completion re-trims. Callers hold s.mu.
+// evictLocked trims the cache to MaxGraphs entries AND MaxCacheBytes of
+// estimated chain memory, evicting only the least recently used *finished*
+// entries: evicting an in-flight build (or the exempt entry, whose registrar
+// is about to hand out its id) would produce a 200 registration whose id
+// immediately 404s and would waste the build. When every excess entry is
+// still building the cache overshoots temporarily (bounded by the
+// concurrent-registration burst); each build's completion re-trims. A lone
+// entry larger than the whole byte budget is kept while it is exempt and
+// becomes the first victim of the next trim. Callers hold s.mu.
 func (s *Server) evictLocked(exempt *entry) {
-	for len(s.entries) > s.cfg.MaxGraphs {
+	for len(s.entries) > s.cfg.MaxGraphs || s.cacheBytes > s.cfg.MaxCacheBytes {
 		var victim *entry
 		for el := s.lru.Back(); el != nil; el = el.Prev() {
 			cand := el.Value.(*entry)
@@ -331,6 +365,7 @@ func (s *Server) evictLocked(exempt *entry) {
 		}
 		delete(s.entries, victim.id)
 		s.lru.Remove(victim.elem)
+		s.cacheBytes -= victim.bytes
 		s.evictions.Add(1)
 	}
 }
@@ -347,9 +382,12 @@ func (s *Server) lookup(id string) (*entry, bool) {
 }
 
 // Solve runs the k right-hand sides bs against graph id under admission
-// control: the call blocks until one of the MaxInflight solve slots frees
-// (or ctx expires), then solves with the per-slot share of the worker
-// budget. len(bs) == 1 takes the single-RHS path; larger batches share one
+// control: the call blocks until a solve slot frees (or ctx expires), then
+// solves with the per-slot share of the worker budget. Slots are sharded
+// per graph — a graph already holding MaxInflightPerGraph slots queues
+// behind waiting requests for other graphs, so one hot graph cannot starve
+// the rest, while an uncontended graph still gets the whole budget.
+// len(bs) == 1 takes the single-RHS path; larger batches share one
 // preconditioner-chain pass per iteration across all columns.
 func (s *Server) Solve(ctx context.Context, id string, bs [][]float64, eps float64) ([][]float64, []solver.SolveStats, error) {
 	e, ok := s.lookup(id)
@@ -378,15 +416,13 @@ func (s *Server) Solve(ctx context.Context, id string, bs [][]float64, eps float
 	if eps <= 0 {
 		eps = s.cfg.DefaultEps
 	}
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, nil, ctx.Err()
+	if err := s.admit.Acquire(ctx, e.id); err != nil {
+		return nil, nil, err
 	}
 	occupancy := s.inflight.Add(1)
 	defer func() {
 		s.inflight.Add(-1)
-		<-s.sem
+		s.admit.Release(e.id)
 	}()
 	opt := solver.Options{Workers: s.workersForOccupancy(occupancy)}
 	xs, sts := e.solver.SolveBatchOpts(bs, eps, opt)
@@ -412,6 +448,7 @@ type GraphStats struct {
 	N          int     `json:"n"`
 	M          int     `json:"m"`
 	BuildMS    float64 `json:"build_ms"`
+	Bytes      int64   `json:"bytes"` // estimated retained chain footprint
 	Levels     int     `json:"levels"`
 	EdgeCounts []int   `json:"edge_counts"`
 	CacheHits  int64   `json:"cache_hits"`
@@ -440,6 +477,7 @@ func (s *Server) Stats(ctx context.Context, id string) (*GraphStats, error) {
 	st := &GraphStats{
 		ID: e.id, Source: e.source, N: e.n, M: e.m,
 		BuildMS:    float64(e.buildDur.Microseconds()) / 1000,
+		Bytes:      e.bytes,
 		Levels:     e.solver.Chain.Depth(),
 		EdgeCounts: e.solver.Chain.EdgeCounts(),
 		CacheHits:  e.hits.Load(),
@@ -454,33 +492,45 @@ func (s *Server) Stats(ctx context.Context, id string) (*GraphStats, error) {
 
 // ServerStats is the service-wide health/stats document.
 type ServerStats struct {
-	Status      string  `json:"status"`
-	Graphs      int     `json:"graphs"`
-	MaxGraphs   int     `json:"max_graphs"`
-	Registers   int64   `json:"registers"`
-	CacheHits   int64   `json:"cache_hits"`
-	Evictions   int64   `json:"evictions"`
-	Inflight    int64   `json:"inflight"`
-	MaxInflight int     `json:"max_inflight"`
-	Workers     int     `json:"workers"`
+	Status    string `json:"status"`
+	Graphs    int    `json:"graphs"`
+	MaxGraphs int    `json:"max_graphs"`
+	// CacheBytes / MaxCacheBytes are the byte-accounted cache occupancy and
+	// budget: the sum of every cached chain's estimated retained footprint,
+	// the quantity eviction trims alongside the entry count.
+	CacheBytes    int64 `json:"cache_bytes"`
+	MaxCacheBytes int64 `json:"max_cache_bytes"`
+	Registers     int64 `json:"registers"`
+	CacheHits     int64 `json:"cache_hits"`
+	Evictions     int64 `json:"evictions"`
+	Inflight      int64 `json:"inflight"`
+	MaxInflight   int   `json:"max_inflight"`
+	// MaxInflightPerGraph is the per-graph solve-slot cap applied while
+	// other graphs are waiting (the admission sharding).
+	MaxInflightPerGraph int `json:"max_inflight_per_graph"`
+	Workers             int `json:"workers"`
 	// PerSolveW is the per-solve worker share at full occupancy; an
 	// admitted solve on a quieter server gets proportionally more.
-	PerSolveW int `json:"workers_per_solve_full"`
-	UptimeSec   float64 `json:"uptime_sec"`
+	PerSolveW int     `json:"workers_per_solve_full"`
+	UptimeSec float64 `json:"uptime_sec"`
 }
 
 // Health returns the service-wide stats document.
 func (s *Server) Health() *ServerStats {
 	s.mu.Lock()
 	n := len(s.entries)
+	bytes := s.cacheBytes
 	s.mu.Unlock()
 	return &ServerStats{
 		Status: "ok", Graphs: n, MaxGraphs: s.cfg.MaxGraphs,
+		CacheBytes: bytes, MaxCacheBytes: s.cfg.MaxCacheBytes,
 		Registers: s.registers.Load(), CacheHits: s.cacheHits.Load(),
 		Evictions: s.evictions.Load(), Inflight: s.inflight.Load(),
-		MaxInflight: s.cfg.MaxInflight, Workers: s.cfg.Workers,
-		PerSolveW: s.workersForOccupancy(int64(s.cfg.MaxInflight)),
-		UptimeSec: time.Since(s.start).Seconds(),
+		MaxInflight:         s.cfg.MaxInflight,
+		MaxInflightPerGraph: s.cfg.MaxInflightPerGraph,
+		Workers:             s.cfg.Workers,
+		PerSolveW:           s.workersForOccupancy(int64(s.cfg.MaxInflight)),
+		UptimeSec:           time.Since(s.start).Seconds(),
 	}
 }
 

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"parlap/internal/gen"
 )
@@ -274,5 +276,206 @@ func TestGraphIDCanonicalization(t *testing.T) {
 	c := gen.Grid2D(5, 6)
 	if GraphID(a) == GraphID(c) {
 		t.Fatal("different graphs collide")
+	}
+}
+
+// TestCacheByteBudgetEviction: with a byte budget too small for two chains,
+// registering a second graph must evict the first even though the entry
+// count is far under MaxGraphs — the huge-chain OOM guard.
+func TestCacheByteBudgetEviction(t *testing.T) {
+	ts := testServer(t, Config{MaxGraphs: 16, MaxCacheBytes: 1, Workers: 1})
+	var r1, r2 RegisterResponse
+	if code := doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{Spec: "grid2d:12x12"}, &r1); code != http.StatusOK {
+		t.Fatalf("register 1: status %d", code)
+	}
+	var st1 GraphStats
+	if code := doJSON(t, "GET", ts.URL+"/graphs/"+r1.ID+"/stats", nil, &st1); code != http.StatusOK {
+		t.Fatalf("stats 1: status %d", code)
+	}
+	if st1.Bytes <= 0 {
+		t.Fatalf("entry bytes not accounted: %d", st1.Bytes)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/graphs", RegisterRequest{Spec: "grid2d:13x13"}, &r2); code != http.StatusOK {
+		t.Fatalf("register 2: status %d", code)
+	}
+	var health ServerStats
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if health.Graphs != 1 {
+		t.Fatalf("byte budget kept %d graphs, want 1", health.Graphs)
+	}
+	if health.Evictions < 1 {
+		t.Fatalf("no eviction recorded: %+v", health)
+	}
+	if health.CacheBytes <= 0 || health.MaxCacheBytes != 1 {
+		t.Fatalf("cache byte counters wrong: bytes=%d max=%d", health.CacheBytes, health.MaxCacheBytes)
+	}
+	// The evicted first graph must now 404; the survivor must solve.
+	var solve SolveResponse
+	b := meanFreeRHS(12*12, 3)
+	if code := doJSON(t, "POST", ts.URL+"/graphs/"+r1.ID+"/solve", SolveRequest{B: b}, &solve); code != http.StatusNotFound {
+		t.Fatalf("evicted graph solve: status %d, want 404", code)
+	}
+	b2 := meanFreeRHS(13*13, 4)
+	if code := doJSON(t, "POST", ts.URL+"/graphs/"+r2.ID+"/solve", SolveRequest{B: b2}, &solve); code != http.StatusOK {
+		t.Fatalf("survivor solve: status %d", code)
+	}
+}
+
+// TestCacheBytesReleasedOnEviction: with a budget fitting roughly one chain,
+// repeated registrations must keep CacheBytes bounded (evictions subtract
+// their bytes) rather than accumulating.
+func TestCacheBytesReleasedOnEviction(t *testing.T) {
+	srv := New(Config{MaxGraphs: 16, MaxCacheBytes: 1, Workers: 1})
+	specs := []string{"grid2d:10x10", "grid2d:11x11", "grid2d:12x12"}
+	var last int64
+	for _, spec := range specs {
+		g, err := gen.FromSpec(spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := srv.Register(context.Background(), g, spec); err != nil {
+			t.Fatal(err)
+		}
+		h := srv.Health()
+		if h.Graphs != 1 {
+			t.Fatalf("after %s: %d graphs cached, want 1", spec, h.Graphs)
+		}
+		last = h.CacheBytes
+	}
+	// Only the last chain's bytes remain accounted.
+	srv.mu.Lock()
+	var want int64
+	for _, e := range srv.entries {
+		want += e.bytes
+	}
+	srv.mu.Unlock()
+	if last != want {
+		t.Fatalf("CacheBytes %d, want sum of cached entries %d", last, want)
+	}
+}
+
+// waitQueueLen spins until the admitter's queue holds n waiters.
+func waitQueueLen(t *testing.T, a *admitter, n int) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		a.mu.Lock()
+		l := a.queue.Len()
+		a.mu.Unlock()
+		if l == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached %d waiters", n)
+}
+
+// TestAdmitterPerGraphSharding: a hot graph holding every slot (allowed
+// while uncontended) must yield its next slot to a later-arriving request
+// for a different graph before its own queued request — and the capped
+// waiter must still be admitted afterwards (no starvation either way).
+func TestAdmitterPerGraphSharding(t *testing.T) {
+	a := newAdmitter(2, 1)
+	ctx := context.Background()
+	// Uncontended fallback: the hot graph may exceed its per-graph cap.
+	if err := a.Acquire(ctx, "hot"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(ctx, "hot"); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan string, 2)
+	go func() {
+		if err := a.Acquire(ctx, "hot"); err == nil {
+			order <- "hot"
+		}
+	}()
+	waitQueueLen(t, a, 1) // hot's third request queued first...
+	go func() {
+		if err := a.Acquire(ctx, "cold"); err == nil {
+			order <- "cold"
+		}
+	}()
+	waitQueueLen(t, a, 2) // ...then cold's.
+	a.Release("hot")
+	if got := <-order; got != "cold" {
+		t.Fatalf("first freed slot went to %q, want the other graph", got)
+	}
+	a.Release("hot")
+	if got := <-order; got != "hot" {
+		t.Fatalf("second freed slot went to %q, want the capped graph", got)
+	}
+	a.Release("cold")
+	a.Release("hot")
+	if g, tot := a.Inflight("hot"); tot != 0 || g != 0 {
+		t.Fatalf("slots leaked: hot=%d total=%d", g, tot)
+	}
+}
+
+// TestAdmitterAcquireContextCancel: a queued waiter whose context expires
+// must leave the queue without leaking a slot.
+func TestAdmitterAcquireContextCancel(t *testing.T) {
+	a := newAdmitter(1, 1)
+	if err := a.Acquire(context.Background(), "g1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.Acquire(ctx, "g2") }()
+	waitQueueLen(t, a, 1)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled acquire returned %v", err)
+	}
+	a.Release("g1")
+	if err := a.Acquire(context.Background(), "g3"); err != nil {
+		t.Fatal(err)
+	}
+	a.Release("g3")
+	_, tot := a.Inflight("g3")
+	if tot != 0 {
+		t.Fatalf("slots leaked after cancel: total=%d", tot)
+	}
+}
+
+// TestAdmitterWorkConserving: when every waiting graph is at its per-graph
+// cap and slots are still free, the cap must not idle capacity — the FIFO
+// head gets the slot anyway.
+func TestAdmitterWorkConserving(t *testing.T) {
+	a := newAdmitter(4, 1)
+	ctx := context.Background()
+	// A and B each at their cap of 1, two slots still free, both queued:
+	// neither is under-cap, so work conservation must admit both.
+	if err := a.Acquire(ctx, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(ctx, "B"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan string, 2)
+	go func() {
+		if err := a.Acquire(ctx, "A"); err == nil {
+			done <- "A"
+		}
+	}()
+	go func() {
+		if err := a.Acquire(ctx, "B"); err == nil {
+			done <- "B"
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("over-cap waiters idled despite free slots")
+		}
+	}
+	_, tot := a.Inflight("A")
+	if tot != 4 {
+		t.Fatalf("total inflight %d, want 4", tot)
+	}
+	for _, id := range []string{"A", "A", "B", "B"} {
+		a.Release(id)
 	}
 }

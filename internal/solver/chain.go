@@ -299,6 +299,30 @@ func mergeParallel(g *graph.Graph) *graph.Graph { return mergeParallelW(0, g) }
 // Depth returns the number of levels above the bottom solve.
 func (c *Chain) Depth() int { return len(c.Levels) }
 
+// MemoryBytes estimates the chain's retained footprint: per level the graph,
+// its Laplacian, the sparsifier output and the elimination log; at the bottom
+// the dense factorization. Each elimination's Reduced graph is the next
+// level's G (the same object), so it is counted exactly once.
+func (c *Chain) MemoryBytes() int64 {
+	var b int64
+	for i := range c.Levels {
+		lvl := &c.Levels[i]
+		b += lvl.G.MemoryBytes() + lvl.Lap.MemoryBytes()
+		b += int64(len(lvl.Comp)) * 8
+		if lvl.Spars != nil {
+			b += lvl.Spars.H.MemoryBytes() + int64(len(lvl.Spars.Subgraph))*8
+		}
+		b += lvl.Elim.MemoryBytes()
+	}
+	if c.BottomG != nil {
+		b += c.BottomG.MemoryBytes()
+	}
+	if c.Bottom != nil {
+		b += c.Bottom.MemoryBytes()
+	}
+	return b
+}
+
 // EdgeCounts returns the edge count of every level plus the bottom graph,
 // the m_i sequence of Lemma 6.6.
 func (c *Chain) EdgeCounts() []int {

@@ -8,7 +8,6 @@ package solver
 
 import (
 	"math/rand"
-	"sort"
 
 	"parlap/internal/graph"
 	"parlap/internal/par"
@@ -36,6 +35,14 @@ type ElimOp struct {
 
 // Elimination is the result of GreedyElimination: the reduced graph, the
 // vertex mapping, and the replayable elimination log.
+//
+// Alongside the op log it carries an owner-computes reverse index: for each
+// round, the ops' scatter targets (the op.A/op.B neighbors that receive
+// forwarded b-mass) grouped by receiving vertex, in op order within each
+// group. ForwardRHS uses it to let every receiver accumulate its own round
+// contributions in parallel — two ops sharing a neighbor no longer force a
+// sequential scatter — while reproducing the sequential op-order float sums
+// bitwise (per receiver, the accumulation order is unchanged).
 type Elimination struct {
 	OrigN    int
 	Ops      []ElimOp
@@ -44,6 +51,20 @@ type Elimination struct {
 	Pos      []int // original vertex -> reduced index (-1 if eliminated)
 	Reduced  *graph.Graph
 	Rounds   int
+
+	// Owner-computes reverse index, flattened across rounds: round ri owns
+	// receiver groups recvRoundEnd[ri-1]..recvRoundEnd[ri]; group gi receives
+	// at vertex recvVert[gi] the contributions of items
+	// recvItemEnd[gi-1]..recvItemEnd[gi], each naming an op (recvOp, a global
+	// Ops index) and carrying the precomputed forwarding coefficient
+	// (recvCoef: 1 for a rake, wᵢ/(w₁+w₂) for the receiver's side of a
+	// splice) so the scatter is one multiply-add per item with no op load.
+	// Items within a group are in ascending op order.
+	recvRoundEnd []int32
+	recvVert     []int32
+	recvItemEnd  []int32
+	recvOp       []int32
+	recvCoef     []float64
 }
 
 // coin3 is a deterministic 1/3-probability coin: a splitmix64-style hash of
@@ -57,6 +78,92 @@ func coin3(seed uint64, v int32) bool {
 	x *= 0xC4CEB9FE1A85EC53
 	x ^= x >> 33
 	return x%3 == 0
+}
+
+// elimEdge is one live undirected edge of the elimination's working graph,
+// normalized to u < v. Parallel edges are merged on entry and after every
+// splice round, so adjacency lists are duplicate-free. seq is the edge's
+// position in the array handed to dedupElimEdges — the sort's explicit
+// tie-breaker (par.SortW's leaf pass is not stable, so input order must be
+// part of the key to be preserved).
+type elimEdge struct {
+	u, v, seq int32
+	w         float64
+}
+
+// dedupElimEdges sorts edges by (u, v, input position) and merges duplicates
+// by summing weights in segment order. The position tie-breaker makes the
+// key a total order, so segment order equals input order for every worker
+// count and schedule; callers arrange the input as "surviving edges first,
+// then splice edges in op order", reproducing the incremental accumulation
+// a mutable adjacency would do.
+func dedupElimEdges(workers int, edges []elimEdge) []elimEdge {
+	par.ForChunkedW(workers, len(edges), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			edges[i].seq = int32(i)
+		}
+	})
+	par.SortW(workers, edges, func(a, b elimEdge) bool {
+		if a.u != b.u {
+			return a.u < b.u
+		}
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		return a.seq < b.seq
+	})
+	m := len(edges)
+	heads := par.FilterIndexW(workers, m, func(i int) bool {
+		return i == 0 || edges[i].u != edges[i-1].u || edges[i].v != edges[i-1].v
+	})
+	out := make([]elimEdge, len(heads))
+	par.ForW(workers, len(heads), func(j int) {
+		lo := heads[j]
+		hi := m
+		if j+1 < len(heads) {
+			hi = heads[j+1]
+		}
+		e := edges[lo]
+		for i := lo + 1; i < hi; i++ {
+			e.w += edges[i].w
+		}
+		out[j] = e
+	})
+	return out
+}
+
+// buildElimCSR packs the (deduped, (u,v)-sorted) edge list into half-edge
+// CSR arrays via the offset-precomputed pack. Because edges are sorted and
+// scattered in index order, every vertex's adjacency comes out sorted
+// ascending — the canonical neighbor order the op log relies on.
+func buildElimCSR(workers, n int, edges []elimEdge) (off []int32, nbr []int32, wt []float64) {
+	offInt, pos := par.HalfEdgePackW(workers, n, len(edges), func(i int) (int, int) {
+		return int(edges[i].u), int(edges[i].v)
+	})
+	off = make([]int32, n+1)
+	par.ForChunkedW(workers, n+1, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			off[v] = int32(offInt[v])
+		}
+	})
+	nbr = make([]int32, 2*len(edges))
+	wt = make([]float64, 2*len(edges))
+	par.ForChunkedW(workers, len(edges), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			pu, pv := pos[2*i], pos[2*i+1]
+			nbr[pu], wt[pu] = e.v, e.w
+			nbr[pv], wt[pv] = e.u, e.w
+		}
+	})
+	return off, nbr, wt
+}
+
+// recvItem is one scatter contribution during reverse-index construction.
+type recvItem struct {
+	tgt  int32   // receiving vertex
+	op   int32   // global Ops index
+	coef float64 // forwarding coefficient for this (op, target) pair
 }
 
 // GreedyElimination performs the parallel partial Cholesky factorization of
@@ -73,29 +180,43 @@ func GreedyElimination(g *graph.Graph, rng *rand.Rand, rec *wd.Recorder) *Elimin
 // every operation for exact back-substitution. Parallel edges are merged and
 // self-loops dropped on entry.
 //
-// Each round's candidate scan, coin marking and willingness test run with
-// workers goroutines (0 = GOMAXPROCS, 1 = sequential); the coins are a hash
-// of a per-round seed drawn from rng, so the elimination is identical for
-// every worker count given the same rng state. The greedy independent-set
-// pass and the adjacency splice stay sequential — they are O(candidates)
-// and mutate shared maps.
+// The working graph is a compact slice-CSR rebuilt by pack after each round
+// (candidate filter, coin marking, willingness, acceptance, op emission and
+// the edge splice are all flat par.ForW / par.FilterIndexW passes — no
+// per-vertex maps anywhere on the path). The acceptance pass computes the
+// lexicographically-first independent set of willing vertices in one
+// parallel sweep: two willing degree-2 vertices are never adjacent (mutual
+// heads unmark both), so conflict chains among willing vertices have at most
+// three vertices and a depth-2 neighbor lookahead decides every vertex
+// exactly as the sequential greedy scan would.
+//
+// The coins are a hash of a per-round seed drawn from rng, so the op log is
+// identical for every worker count given the same rng state; merged edge
+// weights are too, because the rebuild's stable sort fixes the summation
+// order of spliced parallel edges independent of the schedule.
 //
 // The recorder is charged work = adjacency touched and depth = 1 per round,
 // matching the O(n+m) work / O(log n) depth bound.
 func GreedyEliminationW(workers int, g *graph.Graph, rng *rand.Rand, rec *wd.Recorder) *Elimination {
 	n := g.N
-	// Adjacency as conductance maps with parallels merged.
-	adj := make([]map[int32]float64, n)
-	for v := 0; v < n; v++ {
-		adj[v] = make(map[int32]float64)
-	}
-	for _, e := range g.Edges {
-		if e.U == e.V || e.W == 0 {
-			continue
+	// Normalize and merge the input edge list (drop self-loops and zero
+	// weights, u < v, parallels summed in edge-list order).
+	liveIdx := par.FilterIndexW(workers, len(g.Edges), func(i int) bool {
+		e := g.Edges[i]
+		return e.U != e.V && e.W != 0
+	})
+	edges := make([]elimEdge, len(liveIdx))
+	par.ForW(workers, len(liveIdx), func(i int) {
+		e := g.Edges[liveIdx[i]]
+		u, v := int32(e.U), int32(e.V)
+		if u > v {
+			u, v = v, u
 		}
-		adj[e.U][int32(e.V)] += e.W
-		adj[e.V][int32(e.U)] += e.W
-	}
+		edges[i] = elimEdge{u: u, v: v, w: e.W}
+	})
+	edges = dedupElimEdges(workers, edges)
+	off, nbr, wt := buildElimCSR(workers, n, edges)
+
 	el := &Elimination{OrigN: n, Pos: make([]int, n)}
 	alive := make([]bool, n)
 	for i := range alive {
@@ -103,12 +224,14 @@ func GreedyEliminationW(workers int, g *graph.Graph, rng *rand.Rand, rec *wd.Rec
 	}
 	aliveCount := n
 	heads := make([]bool, n)
+	willing := make([]bool, n)
 	accepted := make([]bool, n)
+	deg := func(v int) int32 { return off[v+1] - off[v] }
 	for {
-		// Candidates at round start (parallel pack over the vertex set;
-		// adjacency maps are read-only during the scan).
+		// Candidates at round start: alive vertices of (deduped) degree ≤ 2.
+		// The CSR is rebuilt each round, so degrees are exact.
 		cand := par.FilterIndexW(workers, n, func(v int) bool {
-			return alive[v] && len(adj[v]) <= 2
+			return alive[v] && deg(v) <= 2
 		})
 		if len(cand) == 0 {
 			break
@@ -119,105 +242,126 @@ func GreedyEliminationW(workers int, g *graph.Graph, rng *rand.Rand, rec *wd.Rec
 		roundSeed := uint64(rng.Int63())
 		par.ForW(workers, len(cand), func(i int) {
 			v := cand[i]
-			if len(adj[v]) == 2 {
+			if deg(v) == 2 {
 				heads[v] = coin3(roundSeed, int32(v))
 			}
 		})
-		willing := make([]bool, len(cand))
 		par.ForW(workers, len(cand), func(i int) {
-			v := int32(cand[i])
-			if len(adj[v]) < 2 {
-				willing[i] = true
+			v := cand[i]
+			if deg(v) < 2 {
+				willing[v] = true
 				return
 			}
 			if !heads[v] {
 				return
 			}
-			for u := range adj[v] {
-				if du := len(adj[u]); du == 2 && heads[u] {
+			for j := off[v]; j < off[v+1]; j++ {
+				if u := nbr[j]; deg(int(u)) == 2 && heads[u] {
 					return // neighbor flipped heads too: unmarked
 				}
 			}
-			willing[i] = true
+			willing[v] = true
 		})
-		// Greedy pass enforcing strict independence (no two eliminated
-		// vertices adjacent), which keeps intra-round back-substitutions
-		// independent even across rake/compress interactions.
-		var roundOps []ElimOp
-		touched := 0
-		for i, vi := range cand {
-			if !willing[i] {
-				continue
+		// Acceptance: the lexicographically-first MIS of the willing set,
+		// in one parallel pass. v is rejected by a willing neighbor u < v
+		// unless u is itself rejected by a willing neighbor w < u (w ≠ v);
+		// since willing conflict chains have ≤ 3 vertices, this depth-2
+		// rule terminates the recursion exactly.
+		par.ForW(workers, len(cand), func(i int) {
+			v := cand[i]
+			if !willing[v] {
+				return
 			}
-			v := int32(vi)
-			conflict := false
-			for u := range adj[v] {
-				if accepted[u] {
-					conflict = true
-					break
+			ok := true
+			for j := off[v]; j < off[v+1] && ok; j++ {
+				u := int(nbr[j])
+				if !willing[u] || u >= v {
+					continue
+				}
+				uAccepted := true
+				for jj := off[u]; jj < off[u+1]; jj++ {
+					if w := int(nbr[jj]); w != v && w < u && willing[w] {
+						uAccepted = false
+						break
+					}
+				}
+				if uAccepted {
+					ok = false
 				}
 			}
-			if conflict {
-				continue
-			}
-			switch len(adj[v]) {
-			case 0:
-				roundOps = append(roundOps, ElimOp{Kind: elimDeg0, V: v})
-			case 1:
-				var a int32
-				var w float64
-				for u, wu := range adj[v] {
-					a, w = u, wu
-				}
-				roundOps = append(roundOps, ElimOp{Kind: elimDeg1, V: v, A: a, W1: w})
-			case 2:
-				var ns [2]int32
-				var ws [2]float64
-				i := 0
-				for u, wu := range adj[v] {
-					ns[i], ws[i] = u, wu
-					i++
-				}
-				// Canonical order for determinism.
-				if ns[0] > ns[1] {
-					ns[0], ns[1] = ns[1], ns[0]
-					ws[0], ws[1] = ws[1], ws[0]
-				}
-				roundOps = append(roundOps, ElimOp{Kind: elimDeg2, V: v, A: ns[0], B: ns[1], W1: ws[0], W2: ws[1]})
-			}
-			accepted[v] = true
-			touched += len(adj[v]) + 1
-		}
-		// Reset the per-round marks (only candidate slots were written).
-		for _, v := range cand {
-			heads[v] = false
-			accepted[v] = false
-		}
-		if len(roundOps) == 0 {
-			// All willing vertices conflicted — possible only when every
-			// candidate had an accepted neighbor, which cannot happen in a
-			// greedy pass (first willing vertex is always accepted); if no
-			// vertex was willing (all deg-2 coin flips failed), re-flip.
+			accepted[v] = ok
+		})
+		accIdx := par.FilterIndexW(workers, len(cand), func(i int) bool {
+			return accepted[cand[i]]
+		})
+		if len(accIdx) == 0 {
+			// No degree-≤1 vertices and every degree-2 coin flip failed:
+			// reset the marks and re-flip with a fresh seed.
+			par.ForW(workers, len(cand), func(i int) {
+				v := cand[i]
+				heads[v], willing[v] = false, false
+			})
 			continue
 		}
-		// Apply the round: remove vertices, splice degree-2 edges.
-		for _, op := range roundOps {
-			v := op.V
-			switch op.Kind {
-			case elimDeg1:
-				delete(adj[op.A], v)
-			case elimDeg2:
-				delete(adj[op.A], v)
-				delete(adj[op.B], v)
-				w := op.W1 * op.W2 / (op.W1 + op.W2)
-				adj[op.A][op.B] += w
-				adj[op.B][op.A] += w
+		// Emit the round's ops (accepted vertices in ascending id order; CSR
+		// adjacency is sorted, so deg-2 neighbor order is canonical A < B).
+		base := len(el.Ops)
+		el.Ops = append(el.Ops, make([]ElimOp, len(accIdx))...)
+		ops := el.Ops[base:]
+		par.ForW(workers, len(accIdx), func(k int) {
+			v := cand[accIdx[k]]
+			lo := off[v]
+			switch deg(v) {
+			case 0:
+				ops[k] = ElimOp{Kind: elimDeg0, V: int32(v)}
+			case 1:
+				ops[k] = ElimOp{Kind: elimDeg1, V: int32(v), A: nbr[lo], W1: wt[lo]}
+			case 2:
+				ops[k] = ElimOp{Kind: elimDeg2, V: int32(v),
+					A: nbr[lo], B: nbr[lo+1], W1: wt[lo], W2: wt[lo+1]}
 			}
-			adj[v] = nil
-			alive[v] = false
-			aliveCount--
+		})
+		touched := par.SumIntW(workers, len(accIdx), func(k int) int {
+			return int(deg(cand[accIdx[k]])) + 1
+		})
+		par.ForW(workers, len(accIdx), func(k int) {
+			alive[cand[accIdx[k]]] = false
+		})
+		aliveCount -= len(accIdx)
+		el.appendRecvRound(workers, base, ops)
+
+		// Rebuild-by-pack: drop every edge incident to an eliminated vertex,
+		// append the deg-2 splice edges (in op order, after the survivors so
+		// the stable dedup sums them onto any existing A–B edge in exactly
+		// the order an in-place adjacency update would), and re-pack the CSR.
+		kept := par.FilterIndexW(workers, len(edges), func(i int) bool {
+			e := edges[i]
+			return !accepted[e.u] && !accepted[e.v]
+		})
+		splices := par.FilterIndexW(workers, len(ops), func(k int) bool {
+			return ops[k].Kind == elimDeg2
+		})
+		next := make([]elimEdge, len(kept)+len(splices))
+		par.ForW(workers, len(kept), func(i int) {
+			next[i] = edges[kept[i]]
+		})
+		par.ForW(workers, len(splices), func(j int) {
+			op := &ops[splices[j]]
+			next[len(kept)+j] = elimEdge{u: op.A, v: op.B, w: op.W1 * op.W2 / (op.W1 + op.W2)}
+		})
+		if len(splices) == 0 {
+			// Survivors are already sorted and duplicate-free.
+			edges = next
+		} else {
+			edges = dedupElimEdges(workers, next)
 		}
-		el.Ops = append(el.Ops, roundOps...)
+		off, nbr, wt = buildElimCSR(workers, n, edges)
+
+		// Reset the per-round marks (only candidate slots were written).
+		par.ForW(workers, len(cand), func(i int) {
+			v := cand[i]
+			heads[v], willing[v], accepted[v] = false, false, false
+		})
 		el.RoundEnd = append(el.RoundEnd, len(el.Ops))
 		el.Rounds++
 		rec.Add(int64(touched+len(cand)), 1)
@@ -225,34 +369,79 @@ func GreedyEliminationW(workers int, g *graph.Graph, rng *rand.Rand, rec *wd.Rec
 			break
 		}
 	}
-	// Build the reduced graph.
-	for v := 0; v < n; v++ {
-		if alive[v] {
-			el.Pos[v] = len(el.Keep)
-			el.Keep = append(el.Keep, v)
-		} else {
+	// Build the reduced graph: every remaining edge joins two kept vertices.
+	el.Keep = par.FilterIndexW(workers, n, func(v int) bool { return alive[v] })
+	par.ForChunkedW(workers, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
 			el.Pos[v] = -1
 		}
-	}
-	var edges []graph.Edge
-	for v := 0; v < n; v++ {
-		if !alive[v] {
-			continue
-		}
-		for u, w := range adj[v] {
-			if int32(v) < u {
-				edges = append(edges, graph.Edge{U: el.Pos[v], V: el.Pos[int(u)], W: w})
-			}
-		}
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
 	})
-	el.Reduced = graph.FromEdgesW(workers, len(el.Keep), edges)
+	par.ForW(workers, len(el.Keep), func(j int) {
+		el.Pos[el.Keep[j]] = j
+	})
+	redEdges := make([]graph.Edge, len(edges))
+	par.ForW(workers, len(edges), func(i int) {
+		e := edges[i]
+		redEdges[i] = graph.Edge{U: el.Pos[e.u], V: el.Pos[e.v], W: e.w}
+	})
+	el.Reduced = graph.FromEdgesW(workers, len(el.Keep), redEdges)
 	return el
+}
+
+// appendRecvRound extends the owner-computes reverse index with one round:
+// the round's scatter targets, grouped by receiving vertex with items in
+// ascending op order. (tgt, op) pairs are distinct — an op touches a target
+// at most once — so the sort key is a total order and needs no stability.
+// base is the round's first global op index.
+func (el *Elimination) appendRecvRound(workers, base int, ops []ElimOp) {
+	cnt := make([]int, len(ops))
+	par.ForW(workers, len(ops), func(k int) {
+		switch ops[k].Kind {
+		case elimDeg1:
+			cnt[k] = 1
+		case elimDeg2:
+			cnt[k] = 2
+		}
+	})
+	itemOff := par.ScanW(workers, cnt)
+	items := make([]recvItem, itemOff[len(ops)])
+	par.ForW(workers, len(ops), func(k int) {
+		at := itemOff[k]
+		op := &ops[k]
+		switch op.Kind {
+		case elimDeg1:
+			items[at] = recvItem{op.A, int32(base + k), 1}
+		case elimDeg2:
+			s := op.W1 + op.W2
+			items[at] = recvItem{op.A, int32(base + k), op.W1 / s}
+			items[at+1] = recvItem{op.B, int32(base + k), op.W2 / s}
+		}
+	})
+	par.SortW(workers, items, func(a, b recvItem) bool {
+		if a.tgt != b.tgt {
+			return a.tgt < b.tgt
+		}
+		return a.op < b.op
+	})
+	groups := par.FilterIndexW(workers, len(items), func(i int) bool {
+		return i == 0 || items[i].tgt != items[i-1].tgt
+	})
+	itemBase := int32(len(el.recvOp))
+	for _, gi := range groups {
+		el.recvVert = append(el.recvVert, items[gi].tgt)
+	}
+	for j := range groups {
+		hi := len(items)
+		if j+1 < len(groups) {
+			hi = groups[j+1]
+		}
+		el.recvItemEnd = append(el.recvItemEnd, itemBase+int32(hi))
+	}
+	for i := range items {
+		el.recvOp = append(el.recvOp, items[i].op)
+		el.recvCoef = append(el.recvCoef, items[i].coef)
+	}
+	el.recvRoundEnd = append(el.recvRoundEnd, int32(len(el.recvVert)))
 }
 
 // roundBounds returns the Ops index range of round ri.
@@ -262,6 +451,24 @@ func (el *Elimination) roundBounds(ri int) (lo, hi int) {
 		lo = el.RoundEnd[ri-1]
 	}
 	return lo, el.RoundEnd[ri]
+}
+
+// recvBounds returns the receiver-group index range of round ri.
+func (el *Elimination) recvBounds(ri int) (lo, hi int) {
+	lo = 0
+	if ri > 0 {
+		lo = int(el.recvRoundEnd[ri-1])
+	}
+	return lo, int(el.recvRoundEnd[ri])
+}
+
+// itemBounds returns the reverse-index item range of group gi.
+func (el *Elimination) itemBounds(gi int) (lo, hi int32) {
+	lo = 0
+	if gi > 0 {
+		lo = el.recvItemEnd[gi-1]
+	}
+	return lo, el.recvItemEnd[gi]
 }
 
 // ForwardRHS pushes a right-hand side through the elimination with the
@@ -278,9 +485,12 @@ func (el *Elimination) ForwardRHS(b []float64) (reduced, carry []float64) {
 // Within a round the eliminated vertices form an independent set, and a
 // round's scatter targets (neighbors) are never that round's eliminated
 // vertices — so the carry reads of a round see no same-round writes and run
-// in parallel. The scatter itself stays sequential in op order: two ops may
-// share a neighbor, and a fixed accumulation order keeps the float64 sums
-// deterministic.
+// in parallel. The scatter runs in parallel too, over the owner-computes
+// reverse index: each receiving vertex accumulates its own incoming
+// contributions (carry × precomputed coefficient) in ascending op order —
+// a fixed summation order that makes the result bitwise identical for
+// every worker count, and matches what a sequential op-order scatter of
+// the same contributions would produce.
 func (el *Elimination) ForwardRHSW(workers int, b []float64) (reduced, carry []float64) {
 	work := make([]float64, el.OrigN)
 	copy(work, b)
@@ -293,18 +503,17 @@ func (el *Elimination) ForwardRHSW(workers int, b []float64) (reduced, carry []f
 				carry[lo+k] = work[ops[k].V]
 			}
 		})
-		for k := range ops {
-			op := &ops[k]
-			bv := carry[lo+k]
-			switch op.Kind {
-			case elimDeg1:
-				work[op.A] += bv
-			case elimDeg2:
-				s := op.W1 + op.W2
-				work[op.A] += bv * op.W1 / s
-				work[op.B] += bv * op.W2 / s
+		gLo, gHi := el.recvBounds(ri)
+		par.ForChunkedW(workers, gHi-gLo, func(clo, chi int) {
+			for g := gLo + clo; g < gLo+chi; g++ {
+				acc := work[el.recvVert[g]]
+				iLo, iHi := el.itemBounds(g)
+				for it := iLo; it < iHi; it++ {
+					acc += carry[el.recvOp[it]] * el.recvCoef[it]
+				}
+				work[el.recvVert[g]] = acc
 			}
-		}
+		})
 	}
 	reduced = make([]float64, len(el.Keep))
 	par.ForChunkedW(workers, len(el.Keep), func(clo, chi int) {
@@ -316,10 +525,10 @@ func (el *Elimination) ForwardRHSW(workers int, b []float64) (reduced, carry []f
 }
 
 // ForwardRHSBatchW pushes k right-hand sides through the elimination with
-// one replay of the op log: each op's reads and writes loop over the columns
-// before advancing, so the log (and its cache traffic) is traversed once per
-// round instead of once per RHS. Column c of the result is bitwise identical
-// to ForwardRHSW on bs[c] alone.
+// one replay of the op log: each round's carry gather and owner-computes
+// scatter loop over the columns before advancing, so the log (and its cache
+// traffic) is traversed once per round instead of once per RHS. Column c of
+// the result is bitwise identical to ForwardRHSW on bs[c] alone.
 func (el *Elimination) ForwardRHSBatchW(workers int, bs [][]float64) (reduced, carry [][]float64) {
 	kcols := len(bs)
 	if kcols == 1 {
@@ -346,22 +555,20 @@ func (el *Elimination) ForwardRHSBatchW(workers int, bs [][]float64) (reduced, c
 				}
 			}
 		})
-		for k := range ops {
-			op := &ops[k]
-			switch op.Kind {
-			case elimDeg1:
+		gLo, gHi := el.recvBounds(ri)
+		par.ForChunkedW(workers, gHi-gLo, func(clo, chi int) {
+			for g := gLo + clo; g < gLo+chi; g++ {
+				v := el.recvVert[g]
+				iLo, iHi := el.itemBounds(g)
 				for c := 0; c < kcols; c++ {
-					works[c][op.A] += carry[c][lo+k]
-				}
-			case elimDeg2:
-				s := op.W1 + op.W2
-				for c := 0; c < kcols; c++ {
-					bv := carry[c][lo+k]
-					works[c][op.A] += bv * op.W1 / s
-					works[c][op.B] += bv * op.W2 / s
+					acc := works[c][v]
+					for it := iLo; it < iHi; it++ {
+						acc += carry[c][el.recvOp[it]] * el.recvCoef[it]
+					}
+					works[c][v] = acc
 				}
 			}
-		}
+		})
 	}
 	reduced = make([][]float64, kcols)
 	for c := range reduced {
@@ -388,11 +595,11 @@ func (el *Elimination) BackSolve(xReduced, carry []float64) []float64 {
 // replaying the elimination log in reverse, round by round. carry must come
 // from the ForwardRHS call for the same right-hand side.
 //
-// Each op writes only x[op.V], and a round's neighbor reads (x[op.A],
-// x[op.B]) refer to vertices eliminated in later rounds or kept — already
-// final when the round replays — so ops within a round run in parallel,
-// realizing the Lemma 6.5 claim that rounds are the only sequential
-// dependency.
+// The reverse replay is owner-computes by construction: each op writes only
+// x[op.V] and gathers its neighbor reads (x[op.A], x[op.B]) from vertices
+// eliminated in later rounds or kept — already final when the round replays
+// — so ops within a round run in parallel, realizing the Lemma 6.5 claim
+// that rounds are the only sequential dependency.
 func (el *Elimination) BackSolveW(workers int, xReduced, carry []float64) []float64 {
 	x := make([]float64, el.OrigN)
 	par.ForChunkedW(workers, len(el.Keep), func(clo, chi int) {
@@ -421,7 +628,8 @@ func (el *Elimination) BackSolveW(workers int, xReduced, carry []float64) []floa
 }
 
 // BackSolveBatchW is BackSolveW over k columns with one reverse replay of
-// the op log. Column c is bitwise identical to BackSolveW on column c.
+// the op log: each op's neighbor gather loops over the columns before
+// advancing. Column c is bitwise identical to BackSolveW on column c.
 func (el *Elimination) BackSolveBatchW(workers int, xReduced, carry [][]float64) [][]float64 {
 	kcols := len(xReduced)
 	if kcols == 1 {
@@ -463,4 +671,15 @@ func (el *Elimination) BackSolveBatchW(workers int, xReduced, carry [][]float64)
 		})
 	}
 	return xs
+}
+
+// MemoryBytes estimates the elimination's retained footprint: the op log,
+// the round/vertex maps and the owner-computes reverse index. The reduced
+// graph is excluded — chains account it as the next level's graph.
+func (el *Elimination) MemoryBytes() int64 {
+	b := int64(len(el.Ops)) * 32
+	b += int64(len(el.RoundEnd)+len(el.Keep)+len(el.Pos)) * 8
+	b += int64(len(el.recvRoundEnd)+len(el.recvVert)+len(el.recvItemEnd)+len(el.recvOp)) * 4
+	b += int64(len(el.recvCoef)) * 8
+	return b
 }

@@ -54,6 +54,17 @@ func NewWithOptions(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder
 	return s, nil
 }
 
+// MemoryBytes estimates the solver's retained footprint — the input graph,
+// its Laplacian, the component labels and the whole preconditioner chain —
+// the per-entry cost a serving layer's byte-budgeted cache accounts for.
+func (s *Solver) MemoryBytes() int64 {
+	b := s.G.MemoryBytes() + s.Lap.MemoryBytes() + int64(len(s.Comp))*8
+	if s.Chain != nil {
+		b += s.Chain.MemoryBytes()
+	}
+	return b
+}
+
 // Solve returns x̃ with ‖x̃−L⁺b‖_L ≤ ~ε·‖L⁺b‖_L for the graph Laplacian L,
 // using flexible PCG with the chain preconditioner (the adaptive outer
 // wrapper around the paper's rPCh recursion; the inner recursion is exactly
