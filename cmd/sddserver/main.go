@@ -7,11 +7,16 @@
 //
 // API (see internal/service):
 //
-//	POST /graphs              {"spec":"grid2d:64x64","seed":1} or {"edgelist":"0 1 1\n..."}
-//	GET  /graphs              cached graph ids, MRU first
-//	POST /graphs/{id}/solve   {"b":[...]} or {"batch":[[...],[...]]}, optional "eps"
-//	GET  /graphs/{id}/stats   chain shape, build time, cache/solve counters
-//	GET  /healthz             service-wide health and cache statistics
+//	POST /graphs                    {"spec":"grid2d:64x64","seed":1} or {"edgelist":"0 1 1\n..."}
+//	GET  /graphs                    cached graph ids, MRU first
+//	POST /graphs/{id}/solve         {"b":[...]} or {"batch":[[...],[...]]}, optional "eps"
+//	POST /graphs/{id}/solve/stream  ndjson: one JSON array per line in, one
+//	                                {"row","x","iterations","converged","residual"}
+//	                                line per solution out; ?eps= sets the target.
+//	                                Arbitrarily large batches stream through
+//	                                -stream-window-sized admitted solve windows.
+//	GET  /graphs/{id}/stats         chain shape, build time, cache/solve counters
+//	GET  /healthz                   service-wide health and cache statistics
 //
 // Example:
 //
@@ -40,6 +45,8 @@ var (
 	workers       = flag.Int("workers", 0, "global worker budget split across solve slots (0 = GOMAXPROCS)")
 	defaultEps    = flag.Float64("eps", 1e-8, "default relative residual target when a request omits eps")
 	maxBatch      = flag.Int("max-batch", 64, "maximum right-hand sides per solve request")
+	streamWindow  = flag.Int("stream-window", 0, "RHS rows per admitted window of a streaming solve (0 = max-batch)")
+	maxRowBytes   = flag.Int("max-stream-row-bytes", 0, "byte cap for one ndjson RHS row (0 = 16 MiB)")
 	maxBuilds     = flag.Int("max-builds", 2, "concurrently executing chain builds; more registrations queue")
 	maxVerts      = flag.Int("max-vertices", 2_000_000, "reject graphs larger than this many vertices")
 	maxEdges      = flag.Int("max-edges", 16_000_000, "reject graphs larger than this many edges")
@@ -60,6 +67,8 @@ func main() {
 		Workers:             *workers,
 		DefaultEps:          *defaultEps,
 		MaxBatch:            *maxBatch,
+		StreamWindow:        *streamWindow,
+		MaxStreamRowBytes:   *maxRowBytes,
 		MaxConcurrentBuilds: *maxBuilds,
 		MaxGraphVertices:    *maxVerts,
 		MaxGraphEdges:       *maxEdges,

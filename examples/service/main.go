@@ -195,6 +195,65 @@ func main() {
 	fmt.Printf("batch of %d: bitwise identical to single solves (%s batched vs %s single)\n",
 		*numRHS, batchDur.Round(time.Millisecond), singleDur.Round(time.Millisecond))
 
+	// The same right-hand sides once more, streamed as ndjson rows: the
+	// windowed streaming path must return the same bitwise answers in input
+	// order.
+	var ndjson bytes.Buffer
+	for _, b := range bs {
+		row, err := json.Marshal(b)
+		if err != nil {
+			fatalf("encode stream row: %v", err)
+		}
+		ndjson.Write(row)
+		ndjson.WriteByte('\n')
+	}
+	streamURL := fmt.Sprintf("%s/graphs/%s/solve/stream?eps=%g", *addr, reg.ID, *eps)
+	resp, err := http.Post(streamURL, "application/x-ndjson", &ndjson)
+	if err != nil {
+		fatalf("stream solve: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("stream solve: %s", resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	streamed := 0
+	for dec.More() {
+		var row struct {
+			Row       int       `json:"row"`
+			X         []float64 `json:"x"`
+			Converged bool      `json:"converged"`
+			Residual  float64   `json:"residual"`
+			Error     string    `json:"error"`
+		}
+		if err := dec.Decode(&row); err != nil {
+			fatalf("stream row decode: %v", err)
+		}
+		if row.Error != "" {
+			fatalf("stream error row: %s", row.Error)
+		}
+		if row.Row != streamed {
+			fatalf("stream rows out of order: got %d want %d", row.Row, streamed)
+		}
+		if row.Residual > *maxResidual {
+			fatalf("stream row %d residual %.3e exceeds %g", row.Row, row.Residual, *maxResidual)
+		}
+		if len(row.X) != len(singles[streamed]) {
+			fatalf("stream row %d has %d entries, single solve has %d", streamed, len(row.X), len(singles[streamed]))
+		}
+		for i := range row.X {
+			if row.X[i] != singles[streamed][i] {
+				fatalf("stream row %d differs from single solve at entry %d: %g vs %g",
+					streamed, i, row.X[i], singles[streamed][i])
+			}
+		}
+		streamed++
+	}
+	if streamed != *numRHS {
+		fatalf("stream returned %d rows, want %d", streamed, *numRHS)
+	}
+	fmt.Printf("stream of %d: bitwise identical to single solves, rows in order\n", streamed)
+
 	// Chain-cache accounting.
 	var stats struct {
 		CacheHits int64 `json:"cache_hits"`

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 
 	"parlap/internal/graph"
@@ -60,9 +61,11 @@ type Params struct {
 	CountCoverage bool
 	// Workers selects the goroutine count of the decomposition's parallel
 	// kernels (frontier expansion, coverage counting, cut validation):
-	// 0 = GOMAXPROCS, 1 = the sequential reference path. Results are
-	// identical for every setting — the BFS claims resolve by atomic
-	// minimum, which is schedule-free.
+	// 0 = GOMAXPROCS, 1 = the sequential reference path (no goroutines).
+	// Results are identical for every setting: each BFS round resolves
+	// ownership by a commutative minimum (min center id) and packs the next
+	// frontier in flat candidate order, so the assignment AND the frontier
+	// order are schedule-free.
 	Workers int
 }
 
@@ -219,11 +222,42 @@ func SplitGraph(g *graph.Graph, rho int, p Params, rng *rand.Rand, rec *wd.Recor
 	return res
 }
 
+// bfsRoundState is the per-call scratch of jitteredBFS's deterministic
+// frontier rounds: the round-winner owner (resolved by atomic minimum — the
+// fixed min-center-id priority rule) and the round-winner ticket (the flat
+// candidate index that gets to emit the vertex into the next frontier).
+// Entries are idle (MaxInt32 / MaxInt64) except transiently during a round;
+// the pack pass resets exactly the entries its round touched.
+type bfsRoundState struct {
+	owner  []int32
+	ticket []int64
+}
+
+func newBFSRoundState(n int) *bfsRoundState {
+	st := &bfsRoundState{
+		owner:  make([]int32, n),
+		ticket: make([]int64, n),
+	}
+	for i := range st.owner {
+		st.owner[i] = math.MaxInt32
+		st.ticket[i] = math.MaxInt64
+	}
+	return st
+}
+
 // jitteredBFS runs one iteration's delayed multi-source BFS on the alive
 // subgraph (value[v] < 0). Center i activates at time jitter[i]; all growth
 // stops after time rt. stamp supplies globally unique per-level claim ids.
 // Returns the number of vertices claimed. workers selects the frontier-
-// expansion parallelism (0 = GOMAXPROCS, 1 = sequential).
+// expansion parallelism (0 = GOMAXPROCS, 1 = sequential — no goroutines).
+//
+// Each level is a deterministic frontier round in the edgeMap-with-
+// reservation style of GBBS: a reserve pass resolves every ownership
+// conflict by the fixed (arrival level, min center id) rule, and a commit
+// pass packs the claimed vertices into the next frontier with precomputed
+// offsets (counts → prefix sum → conflict-free scatter), so the frontier's
+// *order* — not just the final assignment — is identical for every worker
+// count and schedule.
 func jitteredBFS(workers int, g *graph.Graph, value, ownerCenter []int32, centers, jitter []int, rt int, stamp *int32, rec *wd.Recorder) int {
 	// Bucket center activations by time.
 	maxJ := 0
@@ -236,6 +270,7 @@ func jitteredBFS(workers int, g *graph.Graph, value, ownerCenter []int32, center
 	for i, s := range centers {
 		activate[jitter[i]] = append(activate[jitter[i]], s)
 	}
+	st := newBFSRoundState(g.N)
 	var frontier []int
 	claimed := 0
 	var edgesSeen int64
@@ -263,7 +298,7 @@ func jitteredBFS(workers int, g *graph.Graph, value, ownerCenter []int32, center
 		}
 		levels++
 		*stamp++
-		next := expandLevel(workers, g, value, ownerCenter, frontier, act, *stamp, &edgesSeen)
+		next := expandRound(workers, g, value, ownerCenter, st, frontier, act, *stamp, &edgesSeen)
 		claimed += len(next)
 		frontier = next
 	}
@@ -271,97 +306,193 @@ func jitteredBFS(workers int, g *graph.Graph, value, ownerCenter []int32, center
 	return claimed
 }
 
-// expandLevel claims, at one BFS level, (a) activated centers not yet
-// settled and (b) alive neighbors of the previous frontier. The claim is a
-// CAS on value from -1 to the level's unique stamp; the owner is the atomic
-// minimum over all same-level candidates, implementing the lexicographic
-// (arrival time, center id) rule.
-func expandLevel(workers int, g *graph.Graph, value, ownerCenter []int32, frontier, act []int, stamp int32, edgesSeen *int64) []int {
-	// candidate claiming helper shared by both phases.
-	claim := func(v int, owner int32, local *[]int) {
-		if atomic.LoadInt32(&value[v]) < 0 &&
-			atomic.CompareAndSwapInt32(&value[v], -1, stamp) {
-			*local = append(*local, v)
-		}
-		// Owner min-merge applies whether we won the value CAS or another
-		// same-level candidate did.
-		if atomic.LoadInt32(&value[v]) == stamp {
-			for {
-				cur := atomic.LoadInt32(&ownerCenter[v])
-				if cur <= owner {
-					return
-				}
-				if atomic.CompareAndSwapInt32(&ownerCenter[v], cur, owner) {
-					return
-				}
-			}
-		}
-	}
-	var next []int
-	// Phase a: center activations (each center is its own owner candidate).
-	for _, s := range act {
-		claim(s, int32(s), &next)
-	}
-	// Phase b: frontier expansion, parallel over the frontier.
+// expandRound claims, at one BFS level, (a) activated centers not yet
+// settled and (b) alive neighbors of the previous frontier, and returns the
+// claimed vertices as the next frontier.
+//
+// The round's candidates form a flat index space: tickets [0, len(act))
+// are the activations (each center its own owner candidate) and ticket
+// len(act)+j is the j-th half-edge out of the frontier in (frontier
+// position, adjacency slot) order. Three passes over that space:
+//
+//  1. reserve — for every candidate whose target is alive, fold the
+//     candidate's owner into st.owner[v] and its ticket into st.ticket[v]
+//     by (atomic) minimum. Min is commutative and associative, so the
+//     winners are schedule-free: the owner implements the lexicographic
+//     (arrival level, min center id) rule and the ticket elects one
+//     deterministic emitter per claimed vertex.
+//  2. count+scatter — the winning candidate of each vertex writes the
+//     claim (value ← stamp, ownerCenter ← round winner) and packs v into
+//     the next frontier at an offset precomputed by per-chunk counts and a
+//     prefix sum, so the scatter is conflict-free and the output order is
+//     the ticket order, independent of workers.
+//  3. reset — the emitted vertices return their round state to idle.
+func expandRound(workers int, g *graph.Graph, value, ownerCenter []int32, st *bfsRoundState, frontier, act []int, stamp int32, edgesSeen *int64) []int {
 	nf := len(frontier)
-	if nf == 0 {
-		return next
-	}
-	totalDeg := 0
-	for _, u := range frontier {
-		totalDeg += g.Off[u+1] - g.Off[u]
-	}
+	// Flat candidate space: activations first, then frontier half-edges in
+	// (frontier position, adjacency slot) order. degOff[fi] is the flat
+	// ticket of frontier[fi]'s first half-edge, biased by len(act).
+	na := len(act)
+	degs := make([]int, nf)
+	par.ForW(workers, nf, func(fi int) {
+		u := frontier[fi]
+		degs[fi] = g.Off[u+1] - g.Off[u]
+	})
+	degOff := par.ScanW(workers, degs)
+	totalDeg := degOff[nf]
 	*edgesSeen += int64(totalDeg)
+	total := na + totalDeg
+
+	// scan walks candidates [lo, hi) in flat order, calling visit(j, v,
+	// owner) for each claimable candidate (activations, then half-edges;
+	// self-loops skipped). One binary search locates the chunk's first
+	// frontier position; the walk advances it.
+	scan := func(lo, hi int, visit func(j, v int, owner int32)) {
+		j := lo
+		for ; j < hi && j < na; j++ {
+			visit(j, act[j], int32(act[j]))
+		}
+		if j >= hi {
+			return
+		}
+		// Largest fi with degOff[fi] <= j-na: the frontier position whose
+		// half-edge run contains the first edge candidate of this chunk.
+		fi := sort.SearchInts(degOff, j-na+1) - 1
+		for ; j < hi; j++ {
+			e := j - na
+			for degOff[fi+1] <= e {
+				fi++
+			}
+			u := frontier[fi]
+			v := g.Adj[g.Off[u]+(e-degOff[fi])]
+			if v == u {
+				continue
+			}
+			visit(j, v, ownerCenter[u])
+		}
+	}
+
 	p := workers
 	if p <= 0 {
 		p = par.Workers()
 	}
-	if p == 1 || totalDeg < par.SequentialThreshold {
-		for _, u := range frontier {
-			owner := ownerCenter[u]
-			for i := g.Off[u]; i < g.Off[u+1]; i++ {
-				v := g.Adj[i]
-				if v == u {
-					continue
-				}
-				claim(v, owner, &next)
+	if p == 1 || total < par.SequentialThreshold {
+		// Sequential reference: same three passes, plain minima, no
+		// goroutines (the Workers:1 contract).
+		scan(0, total, func(j, v int, owner int32) {
+			if value[v] >= 0 {
+				return
 			}
+			if owner < st.owner[v] {
+				st.owner[v] = owner
+			}
+			if int64(j) < st.ticket[v] {
+				st.ticket[v] = int64(j)
+			}
+		})
+		var next []int
+		scan(0, total, func(j, v int, _ int32) {
+			if st.ticket[v] == int64(j) {
+				value[v] = stamp
+				ownerCenter[v] = st.owner[v]
+				next = append(next, v)
+			}
+		})
+		for _, v := range next {
+			st.owner[v] = math.MaxInt32
+			st.ticket[v] = math.MaxInt64
 		}
 		return next
 	}
-	// Bounded-worker chunked expansion (par.TasksW caps concurrency at the
-	// workers knob and propagates worker panics; chunk-indexed locals keep
-	// the merge order fixed).
+
+	// The chunk decomposition only affects scheduling: the reserve pass is a
+	// commutative min and the pack's scatter order is the flat candidate
+	// order regardless of chunk boundaries.
 	numChunks := p * 4
-	if numChunks > nf {
-		numChunks = nf
+	if numChunks > total {
+		numChunks = total
 	}
-	chunk := (nf + numChunks - 1) / numChunks
-	numChunks = (nf + chunk - 1) / chunk
-	locals := make([][]int, numChunks)
+	chunkSize := (total + numChunks - 1) / numChunks
+	numChunks = (total + chunkSize - 1) / chunkSize
+	bounds := func(c int) (int, int) {
+		lo, hi := c*chunkSize, (c+1)*chunkSize
+		if hi > total {
+			hi = total
+		}
+		return lo, hi
+	}
+
+	// Pass 1: reserve. Alive targets (value[v] < 0; value is only written in
+	// pass 2, after the barrier) min-merge the candidate's owner and ticket.
 	par.TasksW(workers, numChunks, func(c int) {
-		lo, hi := c*chunk, (c+1)*chunk
-		if hi > nf {
-			hi = nf
-		}
-		var local []int
-		for fi := lo; fi < hi; fi++ {
-			u := frontier[fi]
-			owner := ownerCenter[u]
-			for i := g.Off[u]; i < g.Off[u+1]; i++ {
-				v := g.Adj[i]
-				if v == u {
-					continue
-				}
-				claim(v, owner, &local)
+		lo, hi := bounds(c)
+		scan(lo, hi, func(j, v int, owner int32) {
+			if value[v] >= 0 {
+				return
 			}
-		}
-		locals[c] = local
+			atomicMin32(&st.owner[v], owner)
+			atomicMin64(&st.ticket[v], int64(j))
+		})
 	})
-	for _, l := range locals {
-		next = append(next, l...)
-	}
+
+	// Pass 2: count winners per chunk, prefix-sum, then conflict-free
+	// scatter. A candidate wins iff its ticket is the vertex's round minimum
+	// (unique per vertex; entries from earlier rounds are reset to idle, so
+	// no stale ticket can match). The winner also writes the claim — a
+	// single writer per vertex.
+	counts := make([]int, numChunks)
+	par.TasksW(workers, numChunks, func(c int) {
+		lo, hi := bounds(c)
+		cnt := 0
+		scan(lo, hi, func(j, v int, _ int32) {
+			if st.ticket[v] == int64(j) {
+				cnt++
+			}
+		})
+		counts[c] = cnt
+	})
+	offsets := par.ScanW(workers, counts)
+	next := make([]int, offsets[numChunks])
+	par.TasksW(workers, numChunks, func(c int) {
+		lo, hi := bounds(c)
+		at := offsets[c]
+		scan(lo, hi, func(j, v int, _ int32) {
+			if st.ticket[v] == int64(j) {
+				value[v] = stamp
+				ownerCenter[v] = st.owner[v]
+				next[at] = v
+				at++
+			}
+		})
+	})
+	// Pass 3: reset the touched round state (exactly the claimed vertices:
+	// every reserved vertex was alive, so it was claimed this round).
+	par.ForW(workers, len(next), func(i int) {
+		v := next[i]
+		st.owner[v] = math.MaxInt32
+		st.ticket[v] = math.MaxInt64
+	})
 	return next
+}
+
+// atomicMin32 folds v into *addr by minimum with a CAS loop.
+func atomicMin32(addr *int32, v int32) {
+	for {
+		cur := atomic.LoadInt32(addr)
+		if cur <= v || atomic.CompareAndSwapInt32(addr, cur, v) {
+			return
+		}
+	}
+}
+
+// atomicMin64 folds v into *addr by minimum with a CAS loop.
+func atomicMin64(addr *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if cur <= v || atomic.CompareAndSwapInt64(addr, cur, v) {
+			return
+		}
+	}
 }
 
 // countCoverage increments cover[v] for every alive vertex v within hop

@@ -1,0 +1,112 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"parlap/internal/gen"
+	"parlap/internal/graph"
+)
+
+// The decomposition was the last construction stage whose parallel path
+// could differ from the sequential reference in anything (even frontier
+// order). After the deterministic-frontier-rounds rewrite, Workers is pure
+// schedule: for identical rng streams, every field of the Result — the
+// assignment, the component numbering, the centers, the creation iterations
+// — must be identical for every worker count.
+
+func equivGraphs() map[string]*graph.Graph {
+	union := func(gs ...*graph.Graph) *graph.Graph {
+		n := 0
+		var edges []graph.Edge
+		for _, g := range gs {
+			for _, e := range g.Edges {
+				edges = append(edges, graph.Edge{U: e.U + n, V: e.V + n, W: e.W})
+			}
+			n += g.N
+		}
+		return graph.FromEdges(n, edges)
+	}
+	return map[string]*graph.Graph{
+		// Large enough that BFS rounds exceed the sequential threshold, so
+		// the chunked reserve/commit path actually runs under workers > 1.
+		"grid":         gen.Grid2D(80, 80),
+		"gnp":          gen.GNP(3000, 0.003, 5),
+		"pa":           gen.PreferentialAttachment(5000, 4, 7),
+		"regular":      gen.RandomRegular(4000, 6, 11),
+		"disconnected": union(gen.Grid2D(40, 40), gen.Cycle(900), gen.PreferentialAttachment(1500, 2, 3)),
+		"star":         gen.Star(4000),
+	}
+}
+
+func splitWith(g *graph.Graph, workers int, rho int, seed int64) *Result {
+	p := PracticalParams()
+	p.Workers = workers
+	rng := rand.New(rand.NewSource(seed))
+	return SplitGraph(g, rho, p, rng, nil)
+}
+
+func sameResult(t *testing.T, name string, workers int, ref, got *Result) {
+	t.Helper()
+	if got.NumComp != ref.NumComp || got.T != ref.T || got.R != ref.R {
+		t.Fatalf("%s workers=%d: shape differs (%d comps T=%d R=%d vs %d T=%d R=%d)",
+			name, workers, got.NumComp, got.T, got.R, ref.NumComp, ref.T, ref.R)
+	}
+	for v := range ref.Comp {
+		if got.Comp[v] != ref.Comp[v] {
+			t.Fatalf("%s workers=%d: vertex %d in component %d, sequential says %d",
+				name, workers, v, got.Comp[v], ref.Comp[v])
+		}
+	}
+	for c := range ref.Centers {
+		if got.Centers[c] != ref.Centers[c] || got.CompIter[c] != ref.CompIter[c] {
+			t.Fatalf("%s workers=%d: component %d center/iter (%d,%d) vs (%d,%d)",
+				name, workers, c, got.Centers[c], got.CompIter[c], ref.Centers[c], ref.CompIter[c])
+		}
+	}
+}
+
+func TestSplitGraphWorkerEquivalence(t *testing.T) {
+	for name, g := range equivGraphs() {
+		for _, rho := range []int{3, 10, 40} {
+			ref := splitWith(g, 1, rho, 42)
+			checkDecomposition(t, g, ref, rho)
+			for _, w := range []int{0, 2, 4} {
+				sameResult(t, name, w, ref, splitWith(g, w, rho, 42))
+			}
+		}
+	}
+}
+
+func TestPartitionWorkerEquivalence(t *testing.T) {
+	for name, g := range equivGraphs() {
+		// Two edge classes split by index parity, exercising the per-class
+		// validation across workers too.
+		class := make([]int, len(g.Edges))
+		for i := range class {
+			class[i] = i % 2
+		}
+		run := func(workers int) *PartitionResult {
+			p := PracticalParams()
+			p.Workers = workers
+			rng := rand.New(rand.NewSource(77))
+			pr, _ := Partition(g, class, 2, 12, p, rng, nil) // threshold advisory at this scale
+			return pr
+		}
+		ref := run(1)
+		for _, w := range []int{0, 2, 4} {
+			got := run(w)
+			sameResult(t, name, w, ref.Result, got.Result)
+			if got.Trials != ref.Trials || got.Cut.Total != ref.Cut.Total {
+				t.Fatalf("%s workers=%d: trials/cut (%d,%d) vs (%d,%d)",
+					name, w, got.Trials, got.Cut.Total, ref.Trials, ref.Cut.Total)
+			}
+			for i := range ref.Cut.PerClass {
+				if got.Cut.PerClass[i] != ref.Cut.PerClass[i] {
+					t.Fatalf("%s workers=%d: class %d cut %d vs %d",
+						name, w, i, got.Cut.PerClass[i], ref.Cut.PerClass[i])
+				}
+			}
+		}
+	}
+}

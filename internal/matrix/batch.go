@@ -112,52 +112,11 @@ func CopyVecBatch(xs [][]float64) [][]float64 {
 
 // ProjectOutConstantMaskedBatchW subtracts each column's per-component mean
 // in place; column behaviour is bitwise identical to
-// ProjectOutConstantMaskedW on that column.
+// ProjectOutConstantMaskedW on that column. Repeated callers should build a
+// CompIndex once and use ProjectOutConstantMaskedBatchIdxW.
 func ProjectOutConstantMaskedBatchW(workers int, xs [][]float64, comp []int, numComp int) {
-	k := len(xs)
-	if k == 0 {
+	if len(xs) == 0 {
 		return
 	}
-	n := len(xs[0])
-	if numComp == 1 {
-		mus := par.SumFloat64BatchW(workers, n, k, func(i, c int) float64 { return xs[c][i] })
-		for c := range mus {
-			mus[c] /= float64(n)
-		}
-		par.ForChunkedW(workers, n, func(lo, hi int) {
-			for c := 0; c < k; c++ {
-				mu, x := mus[c], xs[c]
-				for i := lo; i < hi; i++ {
-					x[i] -= mu
-				}
-			}
-		})
-		return
-	}
-	// Multi-component accumulation stays sequential per column, in the same
-	// index order as the single-vector kernel.
-	sums := make([][]float64, k)
-	for c := range sums {
-		sum := make([]float64, numComp)
-		cnt := make([]float64, numComp)
-		x := xs[c]
-		for i, cc := range comp {
-			sum[cc] += x[i]
-			cnt[cc]++
-		}
-		for j := range sum {
-			if cnt[j] > 0 {
-				sum[j] /= cnt[j]
-			}
-		}
-		sums[c] = sum
-	}
-	par.ForChunkedW(workers, n, func(lo, hi int) {
-		for c := 0; c < k; c++ {
-			x, sum := xs[c], sums[c]
-			for i := lo; i < hi; i++ {
-				x[i] -= sum[comp[i]]
-			}
-		}
-	})
+	ProjectOutConstantMaskedBatchIdxW(workers, xs, NewCompIndexW(workers, comp, numComp))
 }

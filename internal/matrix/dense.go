@@ -165,13 +165,17 @@ type LaplacianFactor struct {
 	pos      []int // original index -> grounded position (-1 if grounded out)
 	comp     []int
 	numComp  int
-	grounded []int // one grounded vertex per component
+	compIdx  *CompIndex // component-sorted index cached for the projections
+	grounded []int      // one grounded vertex per component
 }
 
 // MemoryBytes returns the factor's retained footprint: the dense LDLᵀ
 // factor (the O(n²) bulk of a chain's bottom level) plus the index maps.
 func (lf *LaplacianFactor) MemoryBytes() int64 {
 	b := int64(len(lf.keep)+len(lf.pos)+len(lf.comp)+len(lf.grounded)) * 8
+	if lf.compIdx != nil {
+		b += lf.compIdx.MemoryBytes()
+	}
 	if lf.factor != nil {
 		b += lf.factor.MemoryBytes()
 	}
@@ -227,7 +231,9 @@ func NewLaplacianFactorW(workers int, a *Sparse, comp []int, numComp int) (*Lapl
 	}
 	return &LaplacianFactor{
 		n: n, factor: f, keep: keep, pos: pos,
-		comp: comp, numComp: numComp, grounded: grounded,
+		comp: comp, numComp: numComp,
+		compIdx:  NewCompIndexW(workers, comp, numComp),
+		grounded: grounded,
 	}, nil
 }
 
@@ -242,7 +248,7 @@ func (lf *LaplacianFactor) Solve(b []float64) []float64 { return lf.SolveW(0, b)
 // identical for every workers value.
 func (lf *LaplacianFactor) SolveW(workers int, b []float64) []float64 {
 	rb := CopyVec(b)
-	ProjectOutConstantMaskedW(workers, rb, lf.comp, lf.numComp)
+	ProjectOutConstantMaskedIdxW(workers, rb, lf.compIdx)
 	gb := make([]float64, len(lf.keep))
 	for i, v := range lf.keep {
 		gb[i] = rb[v]
@@ -253,7 +259,7 @@ func (lf *LaplacianFactor) SolveW(workers int, b []float64) []float64 {
 		x[v] = gx[i]
 	}
 	// Grounded vertices already hold 0; re-center per component.
-	ProjectOutConstantMaskedW(workers, x, lf.comp, lf.numComp)
+	ProjectOutConstantMaskedIdxW(workers, x, lf.compIdx)
 	return x
 }
 
@@ -272,7 +278,7 @@ func (lf *LaplacianFactor) SolveBatchW(workers int, bs [][]float64) [][]float64 
 		return [][]float64{lf.SolveW(workers, bs[0])}
 	}
 	rbs := CopyVecBatch(bs)
-	ProjectOutConstantMaskedBatchW(workers, rbs, lf.comp, lf.numComp)
+	ProjectOutConstantMaskedBatchIdxW(workers, rbs, lf.compIdx)
 	gbs := make([][]float64, k)
 	for c := range gbs {
 		gb := make([]float64, len(lf.keep))
@@ -290,6 +296,6 @@ func (lf *LaplacianFactor) SolveBatchW(workers int, bs [][]float64) [][]float64 
 		}
 		xs[c] = x
 	}
-	ProjectOutConstantMaskedBatchW(workers, xs, lf.comp, lf.numComp)
+	ProjectOutConstantMaskedBatchIdxW(workers, xs, lf.compIdx)
 	return xs
 }

@@ -117,31 +117,17 @@ func ProjectOutConstantMasked(x []float64, comp []int, numComp int) {
 
 // ProjectOutConstantMaskedW is ProjectOutConstantMasked with an explicit
 // worker count. The single-component case (the common one on solver hot
-// paths) reduces with the deterministic parallel tree; multi-component
-// accumulation stays sequential — a per-chunk component histogram would
-// cost numComp×chunks scratch per call — but the subtraction pass is
-// parallel either way.
+// paths) reduces with the deterministic parallel tree; the multi-component
+// case builds a component-sorted index and runs the flat segmented parallel
+// reduction of ProjectOutConstantMaskedIdxW. Hot paths that project against
+// the same partition repeatedly should build the CompIndex once (solver
+// chain levels cache one) and call the Idx form directly.
 func ProjectOutConstantMaskedW(workers int, x []float64, comp []int, numComp int) {
 	if numComp == 1 {
 		ProjectOutConstantW(workers, x)
 		return
 	}
-	sum := make([]float64, numComp)
-	cnt := make([]float64, numComp)
-	for i, c := range comp {
-		sum[c] += x[i]
-		cnt[c]++
-	}
-	for c := range sum {
-		if cnt[c] > 0 {
-			sum[c] /= cnt[c]
-		}
-	}
-	par.ForChunkedW(workers, len(x), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			x[i] -= sum[comp[i]]
-		}
-	})
+	ProjectOutConstantMaskedIdxW(workers, x, NewCompIndexW(workers, comp, numComp))
 }
 
 // ANorm returns ‖x‖_A = sqrt(xᵀAx), clamping tiny negative values caused by

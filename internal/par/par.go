@@ -533,6 +533,225 @@ func HalfEdgePack(n, m int, ends func(i int) (u, v int)) (off, pos []int) {
 	return HalfEdgePackW(0, n, m, ends)
 }
 
+// PackByKeyW groups the indices [0, n) by key(i) ∈ [0, numKeys) with a
+// stable parallel counting sort: per-chunk key counts, a prefix sum over
+// keys, and per-(chunk, key) starting offsets let every chunk scatter its
+// own indices into disjoint slots — the same offset-precomputed pack as
+// HalfEdgePackW. It returns off (length numKeys+1) and order (length n):
+// order[off[k]:off[k+1]] holds, in increasing order, exactly the indices i
+// with key(i) == k. The layout matches the sequential stable counting sort
+// for every worker count.
+func PackByKeyW(workers, n, numKeys int, key func(i int) int) (off, order []int) {
+	order = make([]int, n)
+	cnt := make([]int, numKeys)
+	p := resolve(workers)
+	if p == 1 || n < SequentialThreshold {
+		for i := 0; i < n; i++ {
+			cnt[key(i)]++
+		}
+		off = ScanW(1, cnt)
+		cursor := cnt // reuse: overwrite with the running cursor
+		copy(cursor, off[:numKeys])
+		for i := 0; i < n; i++ {
+			k := key(i)
+			order[cursor[k]] = i
+			cursor[k]++
+		}
+		return off, order
+	}
+	chunks := p * 4
+	if chunks > n {
+		chunks = n
+	}
+	chunk := (n + chunks - 1) / chunks
+	numChunks := (n + chunk - 1) / chunk
+	local := make([][]int, numChunks)
+	runTasks(p, numChunks, func(c int) {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		l := make([]int, numKeys)
+		for i := lo; i < hi; i++ {
+			l[key(i)]++
+		}
+		local[c] = l
+	})
+	ForW(workers, numKeys, func(k int) {
+		d := 0
+		for c := 0; c < numChunks; c++ {
+			d += local[c][k]
+		}
+		cnt[k] = d
+	})
+	off = ScanW(workers, cnt)
+	// Turn each chunk's count into its starting cursor at that key: off[k]
+	// plus the indices earlier chunks place there.
+	ForW(workers, numKeys, func(k int) {
+		run := off[k]
+		for c := 0; c < numChunks; c++ {
+			t := local[c][k]
+			local[c][k] = run
+			run += t
+		}
+	})
+	runTasks(p, numChunks, func(c int) {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		cursor := local[c]
+		for i := lo; i < hi; i++ {
+			k := key(i)
+			order[cursor[k]] = i
+			cursor[k]++
+		}
+	})
+	return off, order
+}
+
+// SegmentedSumFloat64W computes one sum per segment of a segment-sorted
+// index space: out[s] = Σ_{i ∈ [segOff[s], segOff[s+1])} f(i), where segOff
+// (length numSeg+1, segOff[numSeg] == n) partitions [0, n) into contiguous
+// segments. The index space is folded in fixed-grain chunks (the same grain
+// as ReduceFloat64W) and each segment combines its chunk partials in chunk
+// order, so the tree shape per segment depends only on n and the segment
+// boundaries — out[s] is bitwise identical for every worker count. This is
+// the flat segmented sum of Andoni–Stein–Song-style per-component
+// reductions: no scalar loop per segment, one parallel pass over the data.
+func SegmentedSumFloat64W(workers int, segOff []int, f func(i int) float64) []float64 {
+	numSeg := len(segOff) - 1
+	out := make([]float64, numSeg)
+	n := segOff[numSeg]
+	if n <= 0 {
+		return out
+	}
+	numChunks := grainChunks(n)
+	// segAt(i) is only ever advanced forward, so each chunk locates its
+	// first segment by binary search and walks from there.
+	if numChunks == 1 {
+		segmentedFold(segOff, 0, n, out, f)
+		return out
+	}
+	// partial[c] holds chunk c's per-segment sums for the (contiguous) run
+	// of segments it intersects, starting at segBase[c].
+	partial := make([][]float64, numChunks)
+	segBase := make([]int, numChunks)
+	runTasks(resolve(workers), numChunks, func(c int) {
+		lo, hi := grainBounds(c, n)
+		s0 := findSeg(segOff, lo)
+		s1 := findSeg(segOff, hi-1)
+		acc := make([]float64, s1-s0+1)
+		segmentedFoldInto(segOff, lo, hi, s0, acc, f)
+		partial[c] = acc
+		segBase[c] = s0
+	})
+	for c := 0; c < numChunks; c++ {
+		base := segBase[c]
+		for j, v := range partial[c] {
+			out[base+j] += v
+		}
+	}
+	return out
+}
+
+// SegmentedSumFloat64BatchW is SegmentedSumFloat64W over k columns in one
+// pass: out[s*k+col] = Σ_{i ∈ segment s} f(i, col). Every column folds
+// through exactly the chunk tree of the single form, so column col is
+// bitwise identical to SegmentedSumFloat64W with f(i) = f(i, col).
+func SegmentedSumFloat64BatchW(workers, k int, segOff []int, f func(i, col int) float64) []float64 {
+	numSeg := len(segOff) - 1
+	out := make([]float64, numSeg*k)
+	n := segOff[numSeg]
+	if n <= 0 || k == 0 {
+		return out
+	}
+	numChunks := grainChunks(n)
+	fold := func(lo, hi, s0 int, acc []float64) {
+		s := s0
+		for i := lo; i < hi; i++ {
+			for segOff[s+1] <= i {
+				s++
+			}
+			row := acc[(s-s0)*k : (s-s0+1)*k]
+			for col := 0; col < k; col++ {
+				row[col] += f(i, col)
+			}
+		}
+	}
+	if numChunks == 1 {
+		fold(0, n, 0, out)
+		return out
+	}
+	partial := make([][]float64, numChunks)
+	segBase := make([]int, numChunks)
+	runTasks(resolve(workers), numChunks, func(c int) {
+		lo, hi := grainBounds(c, n)
+		s0 := findSeg(segOff, lo)
+		s1 := findSeg(segOff, hi-1)
+		acc := make([]float64, (s1-s0+1)*k)
+		fold(lo, hi, s0, acc)
+		partial[c] = acc
+		segBase[c] = s0
+	})
+	for c := 0; c < numChunks; c++ {
+		base := segBase[c]
+		p := partial[c]
+		for j := 0; j < len(p)/k; j++ {
+			row := out[(base+j)*k : (base+j+1)*k]
+			for col := 0; col < k; col++ {
+				row[col] += p[j*k+col]
+			}
+		}
+	}
+	return out
+}
+
+// findSeg returns the segment containing index i: the largest s with
+// segOff[s] <= i. Empty segments make segOff non-strictly increasing, so the
+// search lands on the (unique) non-empty segment covering i.
+func findSeg(segOff []int, i int) int {
+	lo, hi := 0, len(segOff)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if segOff[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	// Skip empty segments sharing the same offset: advance to the segment
+	// that actually contains i (segOff[s+1] > i).
+	for segOff[lo+1] <= i {
+		lo++
+	}
+	return lo
+}
+
+// segmentedFold accumulates f over [lo, hi) into out, indexed by absolute
+// segment id.
+func segmentedFold(segOff []int, lo, hi int, out []float64, f func(i int) float64) {
+	s := findSeg(segOff, lo)
+	for i := lo; i < hi; i++ {
+		for segOff[s+1] <= i {
+			s++
+		}
+		out[s] += f(i)
+	}
+}
+
+// segmentedFoldInto accumulates f over [lo, hi) into acc, indexed relative
+// to segment s0 (the segment containing lo).
+func segmentedFoldInto(segOff []int, lo, hi, s0 int, acc []float64, f func(i int) float64) {
+	s := s0
+	for i := lo; i < hi; i++ {
+		for segOff[s+1] <= i {
+			s++
+		}
+		acc[s-s0] += f(i)
+	}
+}
+
 // SortW sorts xs with the strict-weak order less, using a fixed-grain
 // parallel merge sort: leaf chunks of sortGrain elements are sorted
 // independently, then pairwise-merged over log(n/sortGrain) rounds with the

@@ -1,0 +1,136 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The segmented primitives back the multi-component masked projection: their
+// contract is bitwise reproducibility across worker counts, including the
+// sequential workers=1 path, for every segment shape (empty segments, one
+// giant segment, grain-straddling segments).
+
+func randSegments(rng *rand.Rand, n, numSeg int) []int {
+	cnt := make([]int, numSeg)
+	for i := 0; i < n; i++ {
+		cnt[rng.Intn(numSeg)]++
+	}
+	// A few empty segments on purpose: move counts away from random victims.
+	if numSeg > 3 {
+		cnt[1] += cnt[numSeg-2]
+		cnt[numSeg-2] = 0
+	}
+	off := make([]int, numSeg+1)
+	for s, c := range cnt {
+		off[s+1] = off[s] + c
+	}
+	return off
+}
+
+func TestPackByKeyWMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 17, SequentialThreshold - 1, 3 * SequentialThreshold, 50000} {
+		numKeys := 1 + rng.Intn(37)
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(numKeys)
+		}
+		key := func(i int) int { return keys[i] }
+		refOff, refOrder := PackByKeyW(1, n, numKeys, key)
+		for _, w := range []int{0, 2, 3, 4, 7} {
+			off, order := PackByKeyW(w, n, numKeys, key)
+			if len(off) != len(refOff) || len(order) != len(refOrder) {
+				t.Fatalf("n=%d workers=%d: shape mismatch", n, w)
+			}
+			for k := range off {
+				if off[k] != refOff[k] {
+					t.Fatalf("n=%d workers=%d: off[%d]=%d want %d", n, w, k, off[k], refOff[k])
+				}
+			}
+			for i := range order {
+				if order[i] != refOrder[i] {
+					t.Fatalf("n=%d workers=%d: order[%d]=%d want %d", n, w, i, order[i], refOrder[i])
+				}
+			}
+		}
+		// Stability + completeness: within each key the indices ascend.
+		for k := 0; k < numKeys; k++ {
+			for i := refOff[k]; i < refOff[k+1]; i++ {
+				if keys[refOrder[i]] != k {
+					t.Fatalf("order[%d]=%d has key %d, want %d", i, refOrder[i], keys[refOrder[i]], k)
+				}
+				if i > refOff[k] && refOrder[i] <= refOrder[i-1] {
+					t.Fatalf("key %d not stable at %d", k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSegmentedSumWorkerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 100, reduceGrain, reduceGrain + 1, 5*reduceGrain + 123} {
+		for _, numSeg := range []int{1, 2, 9, 64} {
+			off := randSegments(rng, n, numSeg)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+			f := func(i int) float64 { return xs[i] }
+			ref := SegmentedSumFloat64W(1, off, f)
+			// Sanity: totals match a plain deterministic sum of everything.
+			tot := 0.0
+			for _, v := range ref {
+				tot += v
+			}
+			plain := 0.0
+			for _, v := range xs {
+				plain += v
+			}
+			if n > 0 && tot != 0 && abs(tot-plain) > 1e-9*abs(plain)+1e-12 {
+				t.Fatalf("n=%d segs=%d: segment totals %.17g vs plain %.17g", n, numSeg, tot, plain)
+			}
+			for _, w := range []int{0, 2, 4, 5} {
+				got := SegmentedSumFloat64W(w, off, f)
+				for s := range ref {
+					if got[s] != ref[s] {
+						t.Fatalf("n=%d segs=%d workers=%d: segment %d %.17g != %.17g",
+							n, numSeg, w, s, got[s], ref[s])
+					}
+				}
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestSegmentedSumBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, numSeg, k := 3*reduceGrain+77, 13, 5
+	off := randSegments(rng, n, numSeg)
+	cols := make([][]float64, k)
+	for c := range cols {
+		cols[c] = make([]float64, n)
+		for i := range cols[c] {
+			cols[c][i] = rng.NormFloat64()
+		}
+	}
+	for _, w := range []int{1, 0, 3} {
+		batch := SegmentedSumFloat64BatchW(w, k, off, func(i, c int) float64 { return cols[c][i] })
+		for c := 0; c < k; c++ {
+			single := SegmentedSumFloat64W(w, off, func(i int) float64 { return cols[c][i] })
+			for s := 0; s < numSeg; s++ {
+				if batch[s*k+c] != single[s] {
+					t.Fatalf("workers=%d col=%d seg=%d: batch %.17g != single %.17g",
+						w, c, s, batch[s*k+c], single[s])
+				}
+			}
+		}
+	}
+}

@@ -14,11 +14,12 @@ import (
 
 // HTTP/JSON API:
 //
-//	POST /graphs                 register a graph, build (or reuse) its chain
-//	GET  /graphs                 list cached graph ids (MRU first)
-//	POST /graphs/{id}/solve      solve one RHS ("b") or a batch ("batch")
-//	GET  /graphs/{id}/stats      per-graph chain + serving statistics
-//	GET  /healthz                service-wide health / cache counters
+//	POST /graphs                      register a graph, build (or reuse) its chain
+//	GET  /graphs                      list cached graph ids (MRU first)
+//	POST /graphs/{id}/solve           solve one RHS ("b") or a batch ("batch")
+//	POST /graphs/{id}/solve/stream    ndjson RHS rows in, ndjson solutions out (see stream.go)
+//	GET  /graphs/{id}/stats           per-graph chain + serving statistics
+//	GET  /healthz                     service-wide health / cache counters
 //
 // Graph payloads come in the two formats the rest of the repo already
 // speaks: a generator spec ("grid2d:64x64", "pa:20000:4", … — gen.FromSpec)
@@ -86,6 +87,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /graphs", s.handleRegister)
 	mux.HandleFunc("GET /graphs", s.handleList)
 	mux.HandleFunc("POST /graphs/{id}/solve", s.handleSolve)
+	mux.HandleFunc("POST /graphs/{id}/solve/stream", s.handleSolveStream)
 	mux.HandleFunc("GET /graphs/{id}/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux

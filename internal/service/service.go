@@ -59,6 +59,15 @@ type Config struct {
 	// MaxBatch caps the number of right-hand sides accepted in one solve
 	// request. Default 64.
 	MaxBatch int
+	// StreamWindow is the number of ndjson RHS rows a streaming solve
+	// gathers into one SolveBatch window. Each window is admitted like a
+	// discrete solve request, so a long stream shares the solve slots
+	// fairly instead of holding one for its whole duration. Default
+	// MaxBatch.
+	StreamWindow int
+	// MaxStreamRowBytes bounds one ndjson row of a streaming solve.
+	// Default graphio.DefaultMaxRowBytes (16 MiB).
+	MaxStreamRowBytes int
 	// MaxConcurrentBuilds bounds chain constructions running at once —
 	// builds are the expensive step and run with the full worker budget, so
 	// without a bound a burst of registrations oversubscribes the machine.
@@ -141,6 +150,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
+	}
+	if cfg.StreamWindow <= 0 {
+		cfg.StreamWindow = cfg.MaxBatch
 	}
 	if cfg.MaxConcurrentBuilds <= 0 {
 		cfg.MaxConcurrentBuilds = 2

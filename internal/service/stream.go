@@ -1,0 +1,194 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"parlap/internal/graphio"
+	"parlap/internal/solver"
+)
+
+// The streaming batch path: very large right-hand-side batches arrive as
+// ndjson rows (one JSON array per line), are chunked into SolveBatch
+// windows that each pass the same admission control as a discrete solve
+// request, and the solutions stream back as ndjson rows in input order.
+// A 100k-row batch therefore never holds more than one window of RHS
+// vectors in memory and never monopolizes the solve slots — between
+// windows, waiting requests for other graphs get their turn (the admission
+// sharding applies per window). Row arithmetic is the batched kernels',
+// which are bitwise identical to independent Solve calls per column.
+
+// ErrStreamAbort wraps a row-level failure that ends a stream after rows
+// may already have been emitted.
+var ErrStreamAbort = errors.New("service: stream aborted")
+
+// SolveStream drains RHS rows from next (io.EOF ends the stream), solves
+// them against graph id in admission-controlled windows of the configured
+// StreamWindow size, and hands each solution to emit in input order.
+// It returns the number of rows fully processed. Errors from next or emit
+// abort the stream; rows already emitted stay emitted.
+func (s *Server) SolveStream(ctx context.Context, id string, eps float64,
+	next func() ([]float64, error), emit func(row int, x []float64, st solver.SolveStats) error) (int, error) {
+	e, ok := s.lookup(id)
+	if !ok {
+		return 0, &NotFoundError{ID: id}
+	}
+	select {
+	case <-e.built:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	if e.buildErr != nil {
+		return 0, e.buildErr
+	}
+	if eps <= 0 {
+		eps = s.cfg.DefaultEps
+	}
+	window := s.cfg.StreamWindow
+	done := 0
+	bs := make([][]float64, 0, window)
+	for {
+		// Gather one window.
+		bs = bs[:0]
+		var streamErr error
+		for len(bs) < window {
+			b, err := next()
+			if err == io.EOF {
+				streamErr = io.EOF
+				break
+			}
+			if err != nil {
+				return done, fmt.Errorf("%w: row %d: %v", ErrStreamAbort, done+len(bs)+1, err)
+			}
+			if len(b) != e.n {
+				return done, fmt.Errorf("%w: row %d has %d entries, graph has %d vertices",
+					ErrStreamAbort, done+len(bs)+1, len(b), e.n)
+			}
+			bs = append(bs, b)
+		}
+		if len(bs) > 0 {
+			// Each window is one admitted solve: the per-graph sharding and
+			// the worker-budget split apply exactly as for a discrete batch.
+			if err := s.admit.Acquire(ctx, e.id); err != nil {
+				return done, err
+			}
+			xs, sts := func() ([][]float64, []solver.SolveStats) {
+				occupancy := s.inflight.Add(1)
+				// Release under defer (like Server.Solve): a panicking solve
+				// must not leak the slot or skew the occupancy split.
+				defer func() {
+					s.inflight.Add(-1)
+					s.admit.Release(e.id)
+				}()
+				opt := solver.Options{Workers: s.workersForOccupancy(occupancy)}
+				return e.solver.SolveBatchOpts(bs, eps, opt)
+			}()
+			e.solves.Add(1)
+			e.rhsServed.Add(int64(len(bs)))
+			for _, st := range sts {
+				e.iterations.Add(int64(st.Iterations))
+			}
+			for i := range xs {
+				if err := emit(done+i, xs[i], sts[i]); err != nil {
+					return done + i, fmt.Errorf("%w: emit row %d: %v", ErrStreamAbort, done+i, err)
+				}
+			}
+			done += len(bs)
+		}
+		if streamErr == io.EOF {
+			return done, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
+	}
+}
+
+// streamSolutionRow is the wire form of one streamed solution: the row
+// index it answers, the solution vector (encoded with round-trip float
+// formatting), and the per-solve statistics.
+type streamSolutionRow struct {
+	Row        int             `json:"row"`
+	X          json.RawMessage `json:"x"`
+	Iterations int             `json:"iterations"`
+	Converged  bool            `json:"converged"`
+	Residual   float64         `json:"residual"`
+}
+
+// streamErrorRow ends a broken stream in-band (the HTTP status is already
+// committed once rows have been flushed).
+type streamErrorRow struct {
+	Error string `json:"error"`
+	// Rows is how many solution rows were emitted before the failure.
+	Rows int `json:"rows_emitted"`
+}
+
+// handleSolveStream serves POST /graphs/{id}/solve/stream: ndjson RHS rows
+// in, ndjson solution rows out, windowed through the admission-controlled
+// batch path. eps comes from the ?eps= query parameter.
+func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	eps := 0.0
+	if raw := r.URL.Query().Get("eps"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "bad eps %q", raw)
+			return
+		}
+		eps = v
+	}
+	// Row length is validated against the graph's vertex count inside
+	// SolveStream; the scanner only bounds row bytes here.
+	sc := graphio.NewVectorScanner(r.Body, 0, s.cfg.MaxStreamRowBytes)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	headerSent := false
+	emit := func(row int, x []float64, st solver.SolveStats) error {
+		if !headerSent {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			headerSent = true
+		}
+		err := enc.Encode(streamSolutionRow{
+			Row:        row,
+			X:          json.RawMessage(graphio.AppendVectorRow(nil, x)),
+			Iterations: st.Iterations,
+			Converged:  st.Converged,
+			Residual:   st.Residual,
+		})
+		if err == nil && flusher != nil {
+			flusher.Flush()
+		}
+		return err
+	}
+	rows, err := s.SolveStream(r.Context(), id, eps, sc.Next, emit)
+	if err == nil {
+		if !headerSent {
+			// Zero-row stream: still a success, with an empty body.
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		return
+	}
+	if headerSent {
+		// Mid-stream failure: the status line is gone; report in-band.
+		_ = enc.Encode(streamErrorRow{Error: err.Error(), Rows: rows})
+		return
+	}
+	var nf *NotFoundError
+	switch {
+	case errors.As(err, &nf):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrBuildAborted):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
+		writeError(w, http.StatusServiceUnavailable, "request expired: %v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}

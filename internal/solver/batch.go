@@ -30,7 +30,7 @@ func (c *Chain) solveLevelBatch(workers, i int, bs [][]float64) [][]float64 {
 	lvl := &c.Levels[i]
 	return chebyshevBatch(workers, lvl.Lap, bs, lvl.ChebIts, lvl.EigLo, lvl.EigHi,
 		func(rs [][]float64) [][]float64 { return c.applyHBatch(workers, i, rs) },
-		lvl.Comp, lvl.NumComp, c.rec)
+		lvl.CompIdx, c.rec)
 }
 
 // applyHBatch is applyH over k columns: one forward/backward replay of the
@@ -40,7 +40,7 @@ func (c *Chain) applyHBatch(workers, i int, rs [][]float64) [][]float64 {
 	red, carry := lvl.Elim.ForwardRHSBatchW(workers, rs)
 	xr := c.solveLevelBatch(workers, i+1, red)
 	zs := lvl.Elim.BackSolveBatchW(workers, xr, carry)
-	matrix.ProjectOutConstantMaskedBatchW(workers, zs, lvl.Comp, lvl.NumComp)
+	matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, lvl.CompIdx)
 	c.rec.Add(int64(len(rs))*(int64(len(lvl.Elim.Ops))+int64(len(rs[0]))), int64(lvl.Elim.Rounds)+1)
 	return zs
 }
@@ -69,11 +69,11 @@ func fillScalar(dst []float64, v float64) {
 // — so one scalar schedule drives all columns and each column reproduces the
 // single-column iteration bitwise.
 func chebyshevBatch(workers int, a *matrix.Sparse, bs [][]float64, iters int, lo, hi float64,
-	precond func([][]float64) [][]float64, comp []int, numComp int, rec *wd.Recorder) [][]float64 {
+	precond func([][]float64) [][]float64, ci *matrix.CompIndex, rec *wd.Recorder) [][]float64 {
 	k := len(bs)
 	if k == 1 {
 		single := func(r []float64) []float64 { return precond([][]float64{r})[0] }
-		return [][]float64{chebyshev(workers, a, bs[0], iters, lo, hi, single, comp, numComp, rec)}
+		return [][]float64{chebyshev(workers, a, bs[0], iters, lo, hi, single, ci, rec)}
 	}
 	n := a.N
 	xs := make([][]float64, k)
@@ -83,7 +83,7 @@ func chebyshevBatch(workers int, a *matrix.Sparse, bs [][]float64, iters int, lo
 		aps[c] = make([]float64, n)
 	}
 	rs := matrix.CopyVecBatch(bs)
-	matrix.ProjectOutConstantMaskedBatchW(workers, rs, comp, numComp)
+	matrix.ProjectOutConstantMaskedBatchIdxW(workers, rs, ci)
 	d := (hi + lo) / 2
 	cc := (hi - lo) / 2
 	var ps [][]float64
@@ -91,7 +91,7 @@ func chebyshevBatch(workers int, a *matrix.Sparse, bs [][]float64, iters int, lo
 	scal := make([]float64, k)
 	for it := 0; it < iters; it++ {
 		zs := precond(rs)
-		matrix.ProjectOutConstantMaskedBatchW(workers, zs, comp, numComp)
+		matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, ci)
 		switch it {
 		case 0:
 			ps = matrix.CopyVecBatch(zs)
@@ -114,7 +114,7 @@ func chebyshevBatch(workers int, a *matrix.Sparse, bs [][]float64, iters int, lo
 		matrix.AxpyBatchW(workers, rs, scal, aps, rs)
 		rec.Add(int64(k)*int64(a.NNZ()+6*n), 2)
 	}
-	matrix.ProjectOutConstantMaskedBatchW(workers, xs, comp, numComp)
+	matrix.ProjectOutConstantMaskedBatchIdxW(workers, xs, ci)
 	return xs
 }
 
@@ -136,7 +136,7 @@ func gatherCols(src [][]float64, idx []int) [][]float64 {
 // when they converge or the preconditioner breaks down for them, exactly
 // where pcgFlexible would have returned.
 func pcgFlexibleBatch(workers int, a *matrix.Sparse, bs [][]float64,
-	precond func([][]float64) [][]float64, comp []int, numComp int,
+	precond func([][]float64) [][]float64, ci *matrix.CompIndex,
 	tol float64, maxIter int, rec *wd.Recorder) ([][]float64, []SolveStats) {
 	k := len(bs)
 	n := a.N
@@ -148,7 +148,7 @@ func pcgFlexibleBatch(workers int, a *matrix.Sparse, bs [][]float64,
 		aps[c] = make([]float64, n)
 	}
 	rs := matrix.CopyVecBatch(bs)
-	matrix.ProjectOutConstantMaskedBatchW(workers, rs, comp, numComp)
+	matrix.ProjectOutConstantMaskedBatchIdxW(workers, rs, ci)
 	bnorms := matrix.Norm2BatchW(workers, rs)
 	// needsProject marks columns whose x must be projected on exit (every
 	// exit path of the single driver except the zero-RHS early return).
@@ -167,7 +167,7 @@ func pcgFlexibleBatch(workers int, a *matrix.Sparse, bs [][]float64,
 	prevRs := make([][]float64, k)
 	if len(active) > 0 {
 		zs := precond(gatherCols(rs, active))
-		matrix.ProjectOutConstantMaskedBatchW(workers, zs, comp, numComp)
+		matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, ci)
 		dots := matrix.DotBatchW(workers, gatherCols(rs, active), zs)
 		for i, c := range active {
 			ps[c] = matrix.CopyVec(zs[i])
@@ -223,7 +223,7 @@ func pcgFlexibleBatch(workers int, a *matrix.Sparse, bs [][]float64,
 		}
 		// One chain pass for every still-active column.
 		zs := precond(gatherCols(rs, active))
-		matrix.ProjectOutConstantMaskedBatchW(workers, zs, comp, numComp)
+		matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, ci)
 		diffs := make([][]float64, len(active))
 		for i := range diffs {
 			diffs[i] = make([]float64, n)
@@ -269,7 +269,7 @@ func pcgFlexibleBatch(workers int, a *matrix.Sparse, bs [][]float64,
 		}
 	}
 	if len(project) > 0 {
-		matrix.ProjectOutConstantMaskedBatchW(workers, gatherCols(xs, project), comp, numComp)
+		matrix.ProjectOutConstantMaskedBatchIdxW(workers, gatherCols(xs, project), ci)
 	}
 	w, dep := rec.Work(), rec.Depth()
 	for c := range stats {

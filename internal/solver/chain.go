@@ -66,6 +66,10 @@ type Level struct {
 	Lap     *matrix.Sparse // Laplacian of A_i
 	Comp    []int          // connected components of A_i
 	NumComp int
+	// CompIdx is the component-sorted index over Comp, built once here and
+	// reused by every per-iteration masked projection (the segmented-
+	// reduction analogue of the elimination's cached reverse index).
+	CompIdx *matrix.CompIndex
 	Spars   *SparsifyResult // B_i = Spars.H
 	Elim    *Elimination    // partial Cholesky B_i → A_{i+1}
 	Kappa   float64         // condition target used for B_i
@@ -166,7 +170,8 @@ func BuildChainOpts(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder
 		}
 		lvl := Level{
 			G: cur, Lap: matrix.LaplacianOfW(w, cur), Comp: comp, NumComp: k,
-			Spars: res, Elim: elim, Kappa: sp.Kappa,
+			CompIdx: matrix.NewCompIndexW(w, comp, k),
+			Spars:   res, Elim: elim, Kappa: sp.Kappa,
 			ChebIts: its, EigHi: 1, EigLo: 1 / (sp.Kappa * p.ChebSlack),
 		}
 		c.Levels = append(c.Levels, lvl)
@@ -230,13 +235,13 @@ func (c *Chain) calibrate(rng *rand.Rand) {
 		for j := range x {
 			x[j] = rng.NormFloat64()
 		}
-		matrix.ProjectOutConstantMaskedW(w, x, lvl.Comp, lvl.NumComp)
+		matrix.ProjectOutConstantMaskedIdxW(w, x, lvl.CompIdx)
 		lam := 1.0
 		ax := make([]float64, n)
 		for it := 0; it < 12; it++ {
 			lvl.Lap.MulVecW(w, x, ax)
 			y := c.applyH(w, i, ax)
-			matrix.ProjectOutConstantMaskedW(w, y, lvl.Comp, lvl.NumComp)
+			matrix.ProjectOutConstantMaskedIdxW(w, y, lvl.CompIdx)
 			ny := matrix.Norm2W(w, y)
 			if ny == 0 {
 				break
@@ -309,6 +314,9 @@ func (c *Chain) MemoryBytes() int64 {
 		lvl := &c.Levels[i]
 		b += lvl.G.MemoryBytes() + lvl.Lap.MemoryBytes()
 		b += int64(len(lvl.Comp)) * 8
+		if lvl.CompIdx != nil {
+			b += lvl.CompIdx.MemoryBytes()
+		}
 		if lvl.Spars != nil {
 			b += lvl.Spars.H.MemoryBytes() + int64(len(lvl.Spars.Subgraph))*8
 		}
@@ -347,7 +355,7 @@ func (c *Chain) solveLevel(workers, i int, b []float64) []float64 {
 	lvl := &c.Levels[i]
 	return chebyshev(workers, lvl.Lap, b, lvl.ChebIts, lvl.EigLo, lvl.EigHi,
 		func(r []float64) []float64 { return c.applyH(workers, i, r) },
-		lvl.Comp, lvl.NumComp, c.rec)
+		lvl.CompIdx, c.rec)
 }
 
 // applyH solves the preconditioner system H_i z = r by partial-Cholesky
@@ -359,7 +367,7 @@ func (c *Chain) applyH(workers, i int, r []float64) []float64 {
 	red, carry := lvl.Elim.ForwardRHSW(workers, r)
 	xr := c.solveLevel(workers, i+1, red)
 	z := lvl.Elim.BackSolveW(workers, xr, carry)
-	matrix.ProjectOutConstantMaskedW(workers, z, lvl.Comp, lvl.NumComp)
+	matrix.ProjectOutConstantMaskedIdxW(workers, z, lvl.CompIdx)
 	c.rec.Add(int64(len(lvl.Elim.Ops))+int64(len(r)), int64(lvl.Elim.Rounds)+1)
 	return z
 }

@@ -21,7 +21,7 @@ func TestChebyshevSolvesWithExactPreconditioner(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := randRHS(g.N, 1)
-	x := chebyshev(0, lap, b, 8, 0.9, 1.1, lf.Solve, comp, k, nil)
+	x := chebyshev(0, lap, b, 8, 0.9, 1.1, lf.Solve, matrix.NewCompIndex(comp, k), nil)
 	ax := lap.Apply(x)
 	for i := range b {
 		if math.Abs(ax[i]-b[i]) > 1e-6 {
@@ -39,7 +39,7 @@ func TestChebyshevIdentityPreconditioner(t *testing.T) {
 	b := randRHS(g.N, 2)
 	// λmin of the path Laplacian ≈ 2(1−cos(π/n)) ≈ π²/n².
 	lmin := 2 * (1 - math.Cos(math.Pi/float64(g.N)))
-	x := chebyshev(0, lap, b, 200, lmin, 4, matrix.CopyVec, comp, k, nil)
+	x := chebyshev(0, lap, b, 200, lmin, 4, matrix.CopyVec, matrix.NewCompIndex(comp, k), nil)
 	r := matrix.CopyVec(b)
 	matrix.SubInto(r, r, lap.Apply(x))
 	if matrix.Norm2(r)/matrix.Norm2(b) > 1e-3 {
@@ -55,7 +55,7 @@ func TestChebyshevFixedIterationCountIsLinear(t *testing.T) {
 	lap := matrix.LaplacianOf(g)
 	comp, k := g.ConnectedComponents()
 	apply := func(b []float64) []float64 {
-		return chebyshev(0, lap, b, 5, 0.05, 8, matrix.CopyVec, comp, k, nil)
+		return chebyshev(0, lap, b, 5, 0.05, 8, matrix.CopyVec, matrix.NewCompIndex(comp, k), nil)
 	}
 	rng := rand.New(rand.NewSource(3))
 	b1, b2 := make([]float64, g.N), make([]float64, g.N)
@@ -80,7 +80,7 @@ func TestPCGZeroRHS(t *testing.T) {
 	g := gen.Grid2D(5, 5)
 	lap := matrix.LaplacianOf(g)
 	comp, k := g.ConnectedComponents()
-	x, st := pcgFlexible(0, lap, make([]float64, g.N), matrix.CopyVec, comp, k, 1e-10, 100, nil)
+	x, st := pcgFlexible(0, lap, make([]float64, g.N), matrix.CopyVec, matrix.NewCompIndex(comp, k), 1e-10, 100, nil)
 	if !st.Converged || st.Iterations != 0 {
 		t.Fatalf("zero rhs: %+v", st)
 	}
@@ -96,7 +96,7 @@ func TestPCGMaxIterRespected(t *testing.T) {
 	lap := matrix.LaplacianOf(g)
 	comp, k := g.ConnectedComponents()
 	b := randRHS(g.N, 5)
-	_, st := pcgFlexible(0, lap, b, matrix.CopyVec, comp, k, 1e-14, 7, nil)
+	_, st := pcgFlexible(0, lap, b, matrix.CopyVec, matrix.NewCompIndex(comp, k), 1e-14, 7, nil)
 	if st.Iterations > 7 {
 		t.Fatalf("iterations %d exceed maxIter", st.Iterations)
 	}

@@ -1,0 +1,82 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"parlap/internal/gen"
+	"parlap/internal/matrix"
+)
+
+// Convergence regression wall for the κ-schedule concern: outer PCG
+// iteration counts on the fixed testbed graphs are pinned with a tolerance
+// band, so a chain-construction or schedule change that silently degrades
+// convergence fails CI instead of drifting. cmd/benchsolve records the same
+// counts (same specs, seed and RHS stream) in BENCH_solve.json on every CI
+// run, giving the trajectory a tracked artifact; keep its spec list and
+// this table in sync.
+//
+// The pins are exact today (iteration counts are bitwise-deterministic
+// across worker counts — the equivalence suites lock that); the band only
+// buys headroom for deliberate numerical changes, which must update this
+// table and note the move in ROADMAP.md.
+
+type convergencePin struct {
+	spec string
+	// iters is the count measured at pin time; band is the allowed absolute
+	// deviation (~10%) before the test fails.
+	iters, band int
+}
+
+var convergencePins = []convergencePin{
+	{spec: "grid2d:64x64", iters: 175, band: 18},
+	{spec: "regular:4000:8", iters: 558, band: 56},
+	{spec: "pa:4000:4", iters: 98, band: 10},
+}
+
+// benchRHS reproduces cmd/benchsolve's right-hand-side stream (seed 1):
+// rng seed+7, standard normals, global mean removed.
+func benchRHS(n int) []float64 {
+	rng := rand.New(rand.NewSource(1 + 7))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	matrix.ProjectOutConstant(b)
+	return b
+}
+
+func TestConvergenceIterationPins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testbed chain builds are too heavy for -short")
+	}
+	const eps = 1e-6 // benchsolve's default target
+	for _, pin := range convergencePins {
+		pin := pin
+		t.Run(pin.spec, func(t *testing.T) {
+			g, err := gen.FromSpec(pin.spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(g, DefaultChainParams(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, st := s.Solve(benchRHS(g.N), eps)
+			if !st.Converged {
+				t.Fatalf("testbed solve did not converge: %+v", st)
+			}
+			if r := s.Residual(x, benchRHS(g.N)); r > 10*eps {
+				t.Fatalf("residual %.3e exceeds %g", r, 10*eps)
+			}
+			lo, hi := pin.iters-pin.band, pin.iters+pin.band
+			if st.Iterations < lo || st.Iterations > hi {
+				t.Fatalf("outer PCG took %d iterations, pinned to %d±%d — a κ-schedule regression "+
+					"(or an improvement: update convergencePins and note it in ROADMAP.md)",
+					st.Iterations, pin.iters, pin.band)
+			}
+			t.Logf("%s: %d iterations (pin %d±%d), residual %.2e",
+				pin.spec, st.Iterations, pin.iters, pin.band, st.Residual)
+		})
+	}
+}

@@ -10,15 +10,16 @@ import (
 // chebyshev runs preconditioned Chebyshev iteration on A x = b assuming
 // spec(M⁻¹A) ⊆ [a, bnd], performing exactly iters iterations (a fixed
 // linear operator, as Lemma 6.7 requires for the recursion). precond must
-// approximate M⁻¹. comp/numComp identify A's connected components for
-// null-space projection. workers selects the vector-kernel parallelism
-// (0 = GOMAXPROCS, 1 = sequential).
+// approximate M⁻¹. ci is the component-sorted index of A's connected
+// components, used for null-space projection (built once per chain level).
+// workers selects the vector-kernel parallelism (0 = GOMAXPROCS,
+// 1 = sequential).
 func chebyshev(workers int, a *matrix.Sparse, b []float64, iters int, lo, hi float64,
-	precond func([]float64) []float64, comp []int, numComp int, rec *wd.Recorder) []float64 {
+	precond func([]float64) []float64, ci *matrix.CompIndex, rec *wd.Recorder) []float64 {
 	n := a.N
 	x := make([]float64, n)
 	r := matrix.CopyVec(b)
-	matrix.ProjectOutConstantMaskedW(workers, r, comp, numComp)
+	matrix.ProjectOutConstantMaskedIdxW(workers, r, ci)
 	d := (hi + lo) / 2
 	cc := (hi - lo) / 2
 	var p []float64
@@ -26,7 +27,7 @@ func chebyshev(workers int, a *matrix.Sparse, b []float64, iters int, lo, hi flo
 	ap := make([]float64, n)
 	for k := 0; k < iters; k++ {
 		z := precond(r)
-		matrix.ProjectOutConstantMaskedW(workers, z, comp, numComp)
+		matrix.ProjectOutConstantMaskedIdxW(workers, z, ci)
 		switch k {
 		case 0:
 			p = matrix.CopyVec(z)
@@ -45,7 +46,7 @@ func chebyshev(workers int, a *matrix.Sparse, b []float64, iters int, lo, hi flo
 		matrix.AxpyIntoW(workers, r, -alpha, ap, r)
 		rec.Add(int64(a.NNZ()+6*n), 2)
 	}
-	matrix.ProjectOutConstantMaskedW(workers, x, comp, numComp)
+	matrix.ProjectOutConstantMaskedIdxW(workers, x, ci)
 	return x
 }
 
@@ -65,11 +66,11 @@ type SolveStats struct {
 // residual drops below tol or after maxIter iterations. workers selects the
 // vector-kernel parallelism.
 func pcgFlexible(workers int, a *matrix.Sparse, b []float64, precond func([]float64) []float64,
-	comp []int, numComp int, tol float64, maxIter int, rec *wd.Recorder) ([]float64, SolveStats) {
+	ci *matrix.CompIndex, tol float64, maxIter int, rec *wd.Recorder) ([]float64, SolveStats) {
 	n := a.N
 	x := make([]float64, n)
 	r := matrix.CopyVec(b)
-	matrix.ProjectOutConstantMaskedW(workers, r, comp, numComp)
+	matrix.ProjectOutConstantMaskedIdxW(workers, r, ci)
 	bnorm := matrix.Norm2W(workers, r)
 	st := SolveStats{}
 	if bnorm == 0 {
@@ -77,7 +78,7 @@ func pcgFlexible(workers int, a *matrix.Sparse, b []float64, precond func([]floa
 		return x, st
 	}
 	z := precond(r)
-	matrix.ProjectOutConstantMaskedW(workers, z, comp, numComp)
+	matrix.ProjectOutConstantMaskedIdxW(workers, z, ci)
 	p := matrix.CopyVec(z)
 	rz := matrix.DotW(workers, r, z)
 	ap := make([]float64, n)
@@ -100,7 +101,7 @@ func pcgFlexible(workers int, a *matrix.Sparse, b []float64, precond func([]floa
 			break
 		}
 		z = precond(r)
-		matrix.ProjectOutConstantMaskedW(workers, z, comp, numComp)
+		matrix.ProjectOutConstantMaskedIdxW(workers, z, ci)
 		// Polak–Ribière: β = z·(r − r_prev) / rz_old (flexible variant).
 		diff := make([]float64, n)
 		matrix.SubIntoW(workers, diff, r, prevR)
@@ -116,14 +117,14 @@ func pcgFlexible(workers int, a *matrix.Sparse, b []float64, precond func([]floa
 		matrix.AxpyIntoW(workers, p, beta, p, z)
 		copy(prevR, r)
 	}
-	matrix.ProjectOutConstantMaskedW(workers, x, comp, numComp)
+	matrix.ProjectOutConstantMaskedIdxW(workers, x, ci)
 	st.Work, st.Depth = rec.Work(), rec.Depth()
 	return x, st
 }
 
 // CG is the unpreconditioned conjugate-gradient baseline.
 func CG(a *matrix.Sparse, b []float64, comp []int, numComp int, tol float64, maxIter int, rec *wd.Recorder) ([]float64, SolveStats) {
-	return pcgFlexible(0, a, b, matrix.CopyVec, comp, numComp, tol, maxIter, rec)
+	return pcgFlexible(0, a, b, matrix.CopyVec, matrix.NewCompIndex(comp, numComp), tol, maxIter, rec)
 }
 
 // JacobiPCG is the diagonally preconditioned CG baseline.
@@ -141,5 +142,5 @@ func JacobiPCG(a *matrix.Sparse, b []float64, comp []int, numComp int, tol float
 		}
 		return z
 	}
-	return pcgFlexible(0, a, b, precond, comp, numComp, tol, maxIter, rec)
+	return pcgFlexible(0, a, b, precond, matrix.NewCompIndex(comp, numComp), tol, maxIter, rec)
 }

@@ -19,6 +19,9 @@ type Solver struct {
 	Chain   *Chain
 	Comp    []int
 	NumComp int
+	// CompIdx is the component-sorted index over Comp, built once at
+	// construction and reused by every masked projection in the outer PCG.
+	CompIdx *matrix.CompIndex
 	Opt     Options
 
 	rec     *wd.Recorder
@@ -48,7 +51,9 @@ func NewWithOptions(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder
 	comp, k := g.ConnectedComponents()
 	s := &Solver{
 		G: g, Lap: matrix.LaplacianOfW(opt.Workers, g), Chain: ch,
-		Comp: comp, NumComp: k, Opt: opt, rec: rec,
+		Comp: comp, NumComp: k,
+		CompIdx: matrix.NewCompIndexW(opt.Workers, comp, k),
+		Opt:     opt, rec: rec,
 		MaxIter: 10 * int(math.Sqrt(float64(g.N))+100),
 	}
 	return s, nil
@@ -59,6 +64,9 @@ func NewWithOptions(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder
 // the per-entry cost a serving layer's byte-budgeted cache accounts for.
 func (s *Solver) MemoryBytes() int64 {
 	b := s.G.MemoryBytes() + s.Lap.MemoryBytes() + int64(len(s.Comp))*8
+	if s.CompIdx != nil {
+		b += s.CompIdx.MemoryBytes()
+	}
 	if s.Chain != nil {
 		b += s.Chain.MemoryBytes()
 	}
@@ -92,7 +100,7 @@ func (s *Solver) SolveOpts(b []float64, eps float64, opt Options) ([]float64, So
 	pre := func(r []float64) []float64 {
 		return s.Chain.PrecondApplyW(w, r)
 	}
-	x, st := pcgFlexible(w, s.Lap, b, pre, s.Comp, s.NumComp, eps, s.MaxIter, s.rec)
+	x, st := pcgFlexible(w, s.Lap, b, pre, s.CompIdx, eps, s.MaxIter, s.rec)
 	return x, st
 }
 
@@ -125,7 +133,7 @@ func (s *Solver) SolveBatchOpts(bs [][]float64, eps float64, opt Options) ([][]f
 	pre := func(rs [][]float64) [][]float64 {
 		return s.Chain.PrecondApplyBatchW(w, rs)
 	}
-	return pcgFlexibleBatch(w, s.Lap, bs, pre, s.Comp, s.NumComp, eps, s.MaxIter, s.rec)
+	return pcgFlexibleBatch(w, s.Lap, bs, pre, s.CompIdx, eps, s.MaxIter, s.rec)
 }
 
 // SolveChebyshev is the paper-faithful solver: top-level preconditioned
@@ -139,7 +147,7 @@ func (s *Solver) SolveChebyshev(b []float64, eps float64) ([]float64, SolveStats
 	n := s.G.N
 	x := make([]float64, n)
 	r := matrix.CopyVec(b)
-	matrix.ProjectOutConstantMaskedW(w, r, s.Comp, s.NumComp)
+	matrix.ProjectOutConstantMaskedIdxW(w, r, s.CompIdx)
 	bnorm := matrix.Norm2W(w, r)
 	st := SolveStats{}
 	if bnorm == 0 {
@@ -162,11 +170,11 @@ func (s *Solver) SolveChebyshev(b []float64, eps float64) ([]float64, SolveStats
 	ax := make([]float64, n)
 	maxRounds := 200
 	for round := 0; round < maxRounds; round++ {
-		dx := chebyshev(w, s.Lap, r, its, lo, hi, pre, s.Comp, s.NumComp, s.rec)
+		dx := chebyshev(w, s.Lap, r, its, lo, hi, pre, s.CompIdx, s.rec)
 		matrix.AddIntoW(w, x, x, dx)
 		s.Lap.MulVecW(w, x, ax)
 		matrix.SubIntoW(w, r, b, ax)
-		matrix.ProjectOutConstantMaskedW(w, r, s.Comp, s.NumComp)
+		matrix.ProjectOutConstantMaskedIdxW(w, r, s.CompIdx)
 		st.Iterations += its
 		st.Residual = matrix.Norm2W(w, r) / bnorm
 		if st.Residual <= eps {
@@ -185,12 +193,12 @@ func (s *Solver) SolveChebyshev(b []float64, eps float64) ([]float64, SolveStats
 func (s *Solver) Residual(x, b []float64) float64 {
 	w := s.Opt.Workers
 	r := matrix.CopyVec(b)
-	matrix.ProjectOutConstantMaskedW(w, r, s.Comp, s.NumComp)
+	matrix.ProjectOutConstantMaskedIdxW(w, r, s.CompIdx)
 	bn := matrix.Norm2W(w, r)
 	ax := s.Lap.Apply(x)
 	matrix.SubIntoW(w, r, r, ax)
 	// L x is automatically in range(L); projection of r keeps comparisons fair.
-	matrix.ProjectOutConstantMaskedW(w, r, s.Comp, s.NumComp)
+	matrix.ProjectOutConstantMaskedIdxW(w, r, s.CompIdx)
 	if bn == 0 {
 		return 0
 	}
