@@ -4,8 +4,9 @@
 // on every push so the bench trajectory of the solve path is recorded next
 // to the test results; compare files across commits to see the trend.
 //
-//	go run ./cmd/benchsolve -out BENCH_solve.json          # full matrix
-//	go run ./cmd/benchsolve -quick -out BENCH_solve.json   # CI-sized
+//	go run ./cmd/benchsolve -out BENCH_solve.json          # testbed + grid2d:128x128
+//	go run ./cmd/benchsolve -quick -out BENCH_solve.json   # same specs, CI-sized reps
+//	go run ./cmd/benchsolve -full -out BENCH_solve.json    # adds grid2d:256x256 (slow)
 package main
 
 import (
@@ -25,10 +26,12 @@ import (
 
 var (
 	outPath = flag.String("out", "BENCH_solve.json", "output file")
-	quick   = flag.Bool("quick", false, "CI-sized instances and fewer repetitions")
+	quick   = flag.Bool("quick", false, "CI-sized repetitions")
+	full    = flag.Bool("full", false, "also run grid2d:256x256 (minutes on one core)")
 	eps     = flag.Float64("eps", 1e-6, "relative residual target")
 	batchK  = flag.Int("batch", 8, "batch width for the batched-solve row")
 	seed    = flag.Int64("seed", 1, "graph + RHS seed")
+	workers = flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS); iteration counts are identical for every value")
 )
 
 // result is one topology's row.
@@ -45,6 +48,10 @@ type result struct {
 	BatchWidth   int     `json:"batch_width"`
 	BatchPerRHS  float64 `json:"batch_ms_per_rhs"`
 	BatchSpeedup float64 `json:"batch_per_rhs_speedup"`
+	// Schedule is the calibrated per-level κ schedule (measured spectral
+	// bounds, measured condition numbers, Chebyshev iteration counts) — the
+	// quantities the ROADMAP's numerical-scaling item tracks.
+	Schedule []solver.LevelSchedule `json:"schedule"`
 }
 
 type doc struct {
@@ -76,11 +83,16 @@ func main() {
 	// internal/solver convergence tests), and this command records the same
 	// counts in BENCH_solve.json so the κ-schedule trajectory is tracked in
 	// CI rather than one-off notes. Keep the two lists in sync.
+	// grid2d:128x128 runs on EVERY invocation (including CI's -quick) so the
+	// iteration-vs-n trajectory the ROADMAP worries about is recorded per
+	// commit; -full adds grid2d:256x256 for the long trajectory.
 	specs := []string{"grid2d:64x64", "regular:4000:8", "pa:4000:4", "grid2d:128x128"}
 	reps := 5
 	if *quick {
-		specs = []string{"grid2d:64x64", "regular:4000:8", "pa:4000:4"}
 		reps = 3
+	}
+	if *full {
+		specs = append(specs, "grid2d:256x256")
 	}
 	out := doc{
 		GeneratedUnix: time.Now().Unix(),
@@ -95,7 +107,7 @@ func main() {
 			os.Exit(1)
 		}
 		t0 := time.Now()
-		s, err := solver.New(g, solver.DefaultChainParams(), nil)
+		s, err := solver.NewWithOptions(g, solver.DefaultChainParams(), solver.Options{Workers: *workers}, nil)
 		buildMS := float64(time.Since(t0).Microseconds()) / 1000
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchsolve: %s: chain build: %v\n", spec, err)
@@ -139,6 +151,7 @@ func main() {
 			Residual:     res,
 			BatchWidth:   *batchK,
 			BatchPerRHS:  batchMS / float64(*batchK),
+			Schedule:     s.Chain.Schedule(),
 		}
 		if batchMS > 0 {
 			row.BatchSpeedup = singlesMS / batchMS

@@ -51,13 +51,29 @@ var (
 	maxVerts      = flag.Int("max-vertices", 2_000_000, "reject graphs larger than this many vertices")
 	maxEdges      = flag.Int("max-edges", 16_000_000, "reject graphs larger than this many edges")
 	kappa         = flag.Float64("kappa", 0, "override the sparsifier's condition target κ (0 = default)")
+	kappaGrowth   = flag.Float64("kappa-growth", 0, "override the per-level κ growth factor (0 = default 2)")
+	maxLevels     = flag.Int("max-levels", 0, "override the chain length cap (0 = default 8)")
+	chebSlack     = flag.Float64("cheb-slack", 0, "override the static κ·slack safety envelope on the Chebyshev lower bound (0 = default 1.5)")
 )
 
 func main() {
 	flag.Parse()
+	// Chain-schedule knobs thread through service.Config so operators can
+	// tune cached chains (κ schedule, depth, calibration envelope) without
+	// rebuilding the binary; the calibrated result is visible per graph in
+	// GET /graphs/{id}/stats under "schedule".
 	chain := solver.DefaultChainParams()
 	if *kappa > 0 {
 		chain.Sparsify.Kappa = *kappa
+	}
+	if *kappaGrowth > 0 {
+		chain.KappaGrowth = *kappaGrowth
+	}
+	if *maxLevels > 0 {
+		chain.MaxLevels = *maxLevels
+	}
+	if *chebSlack > 0 {
+		chain.ChebSlack = *chebSlack
 	}
 	srv := service.New(service.Config{
 		MaxGraphs:           *maxGraphs,

@@ -79,6 +79,12 @@ func ProjectOutConstantMaskedIdxW(workers int, x []float64, ci *CompIndex) {
 	}
 	mu := ci.componentMeans(workers, x)
 	comp := ci.Comp
+	if par.Sequential(workers) {
+		for i := range x {
+			x[i] -= mu[comp[i]]
+		}
+		return
+	}
 	par.ForChunkedW(workers, len(x), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x[i] -= mu[comp[i]]

@@ -76,8 +76,16 @@ func NewDenseFactorW(workers, n int, a []float64) (*DenseFactor, error) {
 // Solve solves A x = b given the factorization, overwriting nothing;
 // it returns a fresh solution vector.
 func (f *DenseFactor) Solve(b []float64) []float64 {
+	x := make([]float64, f.n)
+	f.SolveInto(b, x)
+	return x
+}
+
+// SolveInto solves A x = b into the caller-provided x (length n, fully
+// overwritten; x may alias b). It allocates nothing — the workspace form of
+// Solve for the chain's allocation-free apply path.
+func (f *DenseFactor) SolveInto(b, x []float64) {
 	n := f.n
-	x := make([]float64, n)
 	copy(x, b)
 	// Forward solve L y = b.
 	for i := 0; i < n; i++ {
@@ -103,7 +111,6 @@ func (f *DenseFactor) Solve(b []float64) []float64 {
 		}
 		x[i] = s
 	}
-	return x
 }
 
 // SolveBatch solves A x = b for every column of bs with one traversal of
@@ -112,14 +119,26 @@ func (f *DenseFactor) Solve(b []float64) []float64 {
 // subtractions on the same values in the same order — only the L-entry loads
 // are shared.
 func (f *DenseFactor) SolveBatch(bs [][]float64) [][]float64 {
+	xs := make([][]float64, len(bs))
+	for c := range xs {
+		xs[c] = make([]float64, f.n)
+	}
+	f.SolveBatchInto(bs, xs)
+	return xs
+}
+
+// SolveBatchInto is SolveBatch into caller-provided columns (each length n,
+// fully overwritten; xs[c] may alias bs[c]). Column c is bitwise identical
+// to SolveInto on bs[c]; nothing is allocated.
+func (f *DenseFactor) SolveBatchInto(bs, xs [][]float64) {
 	k := len(bs)
 	if k == 1 {
-		return [][]float64{f.Solve(bs[0])}
+		f.SolveInto(bs[0], xs[0])
+		return
 	}
 	n := f.n
-	xs := make([][]float64, k)
 	for c := range xs {
-		xs[c] = CopyVec(bs[c])
+		copy(xs[c], bs[c])
 	}
 	// Forward solve L y = b.
 	for i := 0; i < n; i++ {
@@ -152,7 +171,6 @@ func (f *DenseFactor) SolveBatch(bs [][]float64) [][]float64 {
 			}
 		}
 	}
-	return xs
 }
 
 // LaplacianFactor is a dense pseudo-inverse applier for a Laplacian: it
@@ -247,21 +265,40 @@ func (lf *LaplacianFactor) Solve(b []float64) []float64 { return lf.SolveW(0, b)
 // (the substitution sweeps are inherently sequential). Results are bitwise
 // identical for every workers value.
 func (lf *LaplacianFactor) SolveW(workers int, b []float64) []float64 {
-	rb := CopyVec(b)
-	ProjectOutConstantMaskedIdxW(workers, rb, lf.compIdx)
-	gb := make([]float64, len(lf.keep))
-	for i, v := range lf.keep {
-		gb[i] = rb[v]
-	}
-	gx := lf.factor.Solve(gb)
 	x := make([]float64, lf.n)
+	lf.SolveIntoW(workers, b, x, make([]float64, len(lf.keep)))
+	return x
+}
+
+// SolveIntoW is SolveW into a caller-provided solution vector x (length n,
+// fully overwritten) using scratch g (length GroundedLen()). b is not
+// modified and must not alias x. Nothing is allocated (for a connected
+// component structure), making the chain's bottom solve workspace-resident;
+// the arithmetic is bitwise identical to SolveW.
+func (lf *LaplacianFactor) SolveIntoW(workers int, b, x, g []float64) {
+	// x doubles as the projected copy of b before the grounded gather.
+	copy(x, b)
+	ProjectOutConstantMaskedIdxW(workers, x, lf.compIdx)
 	for i, v := range lf.keep {
-		x[v] = gx[i]
+		g[i] = x[v]
+	}
+	lf.factor.SolveInto(g, g)
+	for i := range x {
+		x[i] = 0
+	}
+	for i, v := range lf.keep {
+		x[v] = g[i]
 	}
 	// Grounded vertices already hold 0; re-center per component.
 	ProjectOutConstantMaskedIdxW(workers, x, lf.compIdx)
-	return x
 }
+
+// GroundedLen returns the size of the grounded system — the scratch length
+// SolveIntoW and SolveBatchIntoW require.
+func (lf *LaplacianFactor) GroundedLen() int { return len(lf.keep) }
+
+// N returns the full (ungrounded) system size.
+func (lf *LaplacianFactor) N() int { return lf.n }
 
 // SolveBatch applies the pseudo-inverse to every column of bs, sharing the
 // dense factor traversal across columns. Column c is bitwise identical to
@@ -274,28 +311,43 @@ func (lf *LaplacianFactor) SolveBatch(bs [][]float64) [][]float64 {
 // projection passes.
 func (lf *LaplacianFactor) SolveBatchW(workers int, bs [][]float64) [][]float64 {
 	k := len(bs)
-	if k == 1 {
-		return [][]float64{lf.SolveW(workers, bs[0])}
-	}
-	rbs := CopyVecBatch(bs)
-	ProjectOutConstantMaskedBatchIdxW(workers, rbs, lf.compIdx)
-	gbs := make([][]float64, k)
-	for c := range gbs {
-		gb := make([]float64, len(lf.keep))
-		for i, v := range lf.keep {
-			gb[i] = rbs[c][v]
-		}
-		gbs[c] = gb
-	}
-	gxs := lf.factor.SolveBatch(gbs)
 	xs := make([][]float64, k)
+	gs := make([][]float64, k)
 	for c := range xs {
-		x := make([]float64, lf.n)
-		for i, v := range lf.keep {
-			x[v] = gxs[c][i]
-		}
-		xs[c] = x
+		xs[c] = make([]float64, lf.n)
+		gs[c] = make([]float64, len(lf.keep))
+	}
+	lf.SolveBatchIntoW(workers, bs, xs, gs)
+	return xs
+}
+
+// SolveBatchIntoW is SolveBatchW into caller-provided solution columns xs
+// (each length n, fully overwritten) with scratch columns gs (each length
+// GroundedLen()). Column c is bitwise identical to SolveIntoW on bs[c].
+func (lf *LaplacianFactor) SolveBatchIntoW(workers int, bs, xs, gs [][]float64) {
+	k := len(bs)
+	if k == 1 {
+		lf.SolveIntoW(workers, bs[0], xs[0], gs[0])
+		return
+	}
+	for c := range xs {
+		copy(xs[c], bs[c])
 	}
 	ProjectOutConstantMaskedBatchIdxW(workers, xs, lf.compIdx)
-	return xs
+	for c := 0; c < k; c++ {
+		for i, v := range lf.keep {
+			gs[c][i] = xs[c][v]
+		}
+	}
+	lf.factor.SolveBatchInto(gs, gs)
+	for c := 0; c < k; c++ {
+		x := xs[c]
+		for i := range x {
+			x[i] = 0
+		}
+		for i, v := range lf.keep {
+			x[v] = gs[c][i]
+		}
+	}
+	ProjectOutConstantMaskedBatchIdxW(workers, xs, lf.compIdx)
 }

@@ -183,8 +183,20 @@ func GraphOfW(workers int, a *Sparse) *graph.Graph {
 // MulVec computes y = A·x in parallel over rows.
 func (a *Sparse) MulVec(x, y []float64) { a.MulVecW(0, x, y) }
 
-// MulVecW is MulVec with an explicit worker count.
+// MulVecW is MulVec with an explicit worker count. Rows are independent, so
+// the workers==1 fast path (no closure, no goroutines, no allocation) is
+// bitwise identical to every parallel schedule.
 func (a *Sparse) MulVecW(workers int, x, y []float64) {
+	if par.Sequential(workers) {
+		for r := 0; r < a.N; r++ {
+			s := 0.0
+			for i := a.Off[r]; i < a.Off[r+1]; i++ {
+				s += a.Val[i] * x[a.Col[i]]
+			}
+			y[r] = s
+		}
+		return
+	}
 	par.ForChunkedW(workers, a.N, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			s := 0.0

@@ -10,6 +10,13 @@ import (
 // W-suffixed form taking the solver's Options.Workers knob (0 = GOMAXPROCS,
 // 1 = sequential). Reductions use par's fixed-grain deterministic trees, so
 // the W forms return bitwise-identical values for every worker count.
+//
+// Each W kernel takes an explicit workers==1 fast path with inline loops:
+// the closures the parallel primitives require escape to the heap at every
+// call, so the fast paths are what make a steady-state preconditioner
+// application allocation-free at Workers:1. Reduction fast paths fold the
+// same par.ReduceGrain chunks in chunk order as the parallel tree, keeping
+// the sequential result bitwise identical to every other worker count.
 
 // Dot returns the inner product of x and y, computed with a deterministic
 // chunked parallel reduction.
@@ -17,6 +24,26 @@ func Dot(x, y []float64) float64 { return DotW(0, x, y) }
 
 // DotW is Dot with an explicit worker count.
 func DotW(workers int, x, y []float64) float64 {
+	if par.Sequential(workers) {
+		n := len(x)
+		var acc float64
+		for lo := 0; lo < n; lo += par.ReduceGrain {
+			hi := lo + par.ReduceGrain
+			if hi > n {
+				hi = n
+			}
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += x[i] * y[i]
+			}
+			if lo == 0 {
+				acc = s
+			} else {
+				acc += s
+			}
+		}
+		return acc
+	}
 	return par.SumFloat64W(workers, len(x), func(i int) float64 { return x[i] * y[i] })
 }
 
@@ -31,6 +58,12 @@ func AxpyInto(dst []float64, a float64, x, y []float64) { AxpyIntoW(0, dst, a, x
 
 // AxpyIntoW is AxpyInto with an explicit worker count.
 func AxpyIntoW(workers int, dst []float64, a float64, x, y []float64) {
+	if par.Sequential(workers) {
+		for i := range dst {
+			dst[i] = a*x[i] + y[i]
+		}
+		return
+	}
 	par.ForChunkedW(workers, len(dst), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = a*x[i] + y[i]
@@ -43,6 +76,12 @@ func ScaleInto(dst []float64, a float64, x []float64) { ScaleIntoW(0, dst, a, x)
 
 // ScaleIntoW is ScaleInto with an explicit worker count.
 func ScaleIntoW(workers int, dst []float64, a float64, x []float64) {
+	if par.Sequential(workers) {
+		for i := range dst {
+			dst[i] = a * x[i]
+		}
+		return
+	}
 	par.ForChunkedW(workers, len(dst), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = a * x[i]
@@ -55,6 +94,12 @@ func SubInto(dst, x, y []float64) { SubIntoW(0, dst, x, y) }
 
 // SubIntoW is SubInto with an explicit worker count.
 func SubIntoW(workers int, dst, x, y []float64) {
+	if par.Sequential(workers) {
+		for i := range dst {
+			dst[i] = x[i] - y[i]
+		}
+		return
+	}
 	par.ForChunkedW(workers, len(dst), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = x[i] - y[i]
@@ -67,6 +112,12 @@ func AddInto(dst, x, y []float64) { AddIntoW(0, dst, x, y) }
 
 // AddIntoW is AddInto with an explicit worker count.
 func AddIntoW(workers int, dst, x, y []float64) {
+	if par.Sequential(workers) {
+		for i := range dst {
+			dst[i] = x[i] + y[i]
+		}
+		return
+	}
 	par.ForChunkedW(workers, len(dst), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = x[i] + y[i]
@@ -89,6 +140,26 @@ func MeanW(workers int, x []float64) float64 {
 	if len(x) == 0 {
 		return 0
 	}
+	if par.Sequential(workers) {
+		n := len(x)
+		var acc float64
+		for lo := 0; lo < n; lo += par.ReduceGrain {
+			hi := lo + par.ReduceGrain
+			if hi > n {
+				hi = n
+			}
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += x[i]
+			}
+			if lo == 0 {
+				acc = s
+			} else {
+				acc += s
+			}
+		}
+		return acc / float64(n)
+	}
 	return par.SumFloat64W(workers, len(x), func(i int) float64 { return x[i] }) / float64(len(x))
 }
 
@@ -100,6 +171,12 @@ func ProjectOutConstant(x []float64) { ProjectOutConstantW(0, x) }
 // ProjectOutConstantW is ProjectOutConstant with an explicit worker count.
 func ProjectOutConstantW(workers int, x []float64) {
 	mu := MeanW(workers, x)
+	if par.Sequential(workers) {
+		for i := range x {
+			x[i] -= mu
+		}
+		return
+	}
 	par.ForChunkedW(workers, len(x), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x[i] -= mu

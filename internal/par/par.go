@@ -38,6 +38,12 @@ const SequentialThreshold = 2048
 // and makes results reproducible across worker counts.
 const reduceGrain = 2048
 
+// ReduceGrain exports the fixed reduction chunk size. Callers that implement
+// an allocation-free sequential reduction (a hot kernel's workers==1 fast
+// path) must fold chunks of exactly this size in chunk order to stay bitwise
+// identical to ReduceFloat64W's combining tree.
+const ReduceGrain = reduceGrain
+
 // Workers returns the number of workers parallel primitives use by default.
 func Workers() int { return runtime.GOMAXPROCS(0) }
 
@@ -49,6 +55,12 @@ func resolve(workers int) int {
 	}
 	return workers
 }
+
+// Sequential reports whether the workers knob resolves to one worker — the
+// condition under which hot kernels take their inline (closure-free,
+// allocation-free) fast paths. The fast paths are bitwise identical to the
+// parallel schedules, so dispatching on the resolved count is safe.
+func Sequential(workers int) bool { return resolve(workers) == 1 }
 
 // runTasks executes task(c) for every c in [0, numTasks) on up to p
 // goroutines, pulling task indices from a shared counter for load balance.

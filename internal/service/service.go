@@ -455,20 +455,30 @@ func (e *NotFoundError) Error() string {
 
 // GraphStats is the stats document of one cached graph.
 type GraphStats struct {
-	ID         string  `json:"id"`
-	Source     string  `json:"source"`
-	N          int     `json:"n"`
-	M          int     `json:"m"`
-	BuildMS    float64 `json:"build_ms"`
-	Bytes      int64   `json:"bytes"` // estimated retained chain footprint
-	Levels     int     `json:"levels"`
-	EdgeCounts []int   `json:"edge_counts"`
-	CacheHits  int64   `json:"cache_hits"`
-	Solves     int64   `json:"solves"`
-	RHSServed  int64   `json:"rhs_served"`
-	Iterations int64   `json:"iterations"`
-	BottomSolv int64   `json:"bottom_solves"`
-	MaxIter    int     `json:"max_iter"`
+	ID      string  `json:"id"`
+	Source  string  `json:"source"`
+	N       int     `json:"n"`
+	M       int     `json:"m"`
+	BuildMS float64 `json:"build_ms"`
+	Bytes   int64   `json:"bytes"` // estimated retained chain footprint
+	// WorkspaceBytes is the live high-water estimate of pooled per-solve
+	// scratch this chain retains between GCs. (Bytes, charged against the
+	// cache budget, snapshots Solver.MemoryBytes at build time — before any
+	// solve has grown the pools — so the two are reported separately.)
+	WorkspaceBytes int64 `json:"workspace_bytes"`
+	Levels         int   `json:"levels"`
+	EdgeCounts     []int `json:"edge_counts"`
+	// Schedule is the calibrated per-level κ schedule: measured spectral
+	// bounds of the preconditioned operator, measured vs target condition
+	// number, and the derived Chebyshev iteration counts — the production
+	// observability for κ-schedule behavior.
+	Schedule   []solver.LevelSchedule `json:"schedule"`
+	CacheHits  int64                  `json:"cache_hits"`
+	Solves     int64                  `json:"solves"`
+	RHSServed  int64                  `json:"rhs_served"`
+	Iterations int64                  `json:"iterations"`
+	BottomSolv int64                  `json:"bottom_solves"`
+	MaxIter    int                    `json:"max_iter"`
 }
 
 // Stats returns the stats document for graph id. ctx bounds the wait on an
@@ -488,16 +498,18 @@ func (s *Server) Stats(ctx context.Context, id string) (*GraphStats, error) {
 	}
 	st := &GraphStats{
 		ID: e.id, Source: e.source, N: e.n, M: e.m,
-		BuildMS:    float64(e.buildDur.Microseconds()) / 1000,
-		Bytes:      e.bytes,
-		Levels:     e.solver.Chain.Depth(),
-		EdgeCounts: e.solver.Chain.EdgeCounts(),
-		CacheHits:  e.hits.Load(),
-		Solves:     e.solves.Load(),
-		RHSServed:  e.rhsServed.Load(),
-		Iterations: e.iterations.Load(),
-		BottomSolv: e.solver.Chain.BottomSolves(),
-		MaxIter:    e.solver.MaxIter,
+		BuildMS:        float64(e.buildDur.Microseconds()) / 1000,
+		Bytes:          e.bytes,
+		WorkspaceBytes: e.solver.WorkspaceBytes(),
+		Levels:         e.solver.Chain.Depth(),
+		EdgeCounts:     e.solver.Chain.EdgeCounts(),
+		Schedule:       e.solver.Chain.Schedule(),
+		CacheHits:      e.hits.Load(),
+		Solves:         e.solves.Load(),
+		RHSServed:      e.rhsServed.Load(),
+		Iterations:     e.iterations.Load(),
+		BottomSolv:     e.solver.Chain.BottomSolves(),
+		MaxIter:        e.solver.MaxIter,
 	}
 	return st, nil
 }

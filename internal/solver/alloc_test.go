@@ -1,0 +1,54 @@
+package solver
+
+import (
+	"testing"
+
+	"parlap/internal/gen"
+)
+
+// The allocation wall for the apply path: a steady-state preconditioner
+// application at Workers:1 must perform ZERO heap allocations — every
+// scratch vector lives in the per-solve workspace, every hot kernel takes
+// its sequential fast path before building a parallel closure. (At
+// workers > 1 goroutine fan-out inherently allocates; the equivalence
+// suites prove the arithmetic is identical, so the sequential path is the
+// one to lock.) Connected testbed graph: the single-component projection is
+// the allocation-free one; per-component mean buffers on disconnected
+// graphs are small and documented.
+
+func TestPrecondApplyZeroAllocs(t *testing.T) {
+	g := gen.Grid2D(48, 48)
+	s, err := NewWithOptions(g, DefaultChainParams(), Options{Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Chain
+	r := randRHS(g.N, 7)
+	ws := newWorkspace(c, 1) // held directly: immune to pool/GC interplay
+	c.applyHTop(1, r, ws)    // warm up (lazy growth done)
+	allocs := testing.AllocsPerRun(20, func() {
+		c.applyHTop(1, r, ws)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state preconditioner application allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkPrecondApply reports ns/op and (via ReportAllocs) allocs/op for
+// the public pooled entry point — the CI-visible record of the
+// allocation-free apply path.
+func BenchmarkPrecondApply(b *testing.B) {
+	g := gen.Grid2D(64, 64)
+	s, err := NewWithOptions(g, DefaultChainParams(), Options{Workers: 1}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := randRHS(g.N, 7)
+	dst := make([]float64, g.N)
+	s.Chain.PrecondApplyIntoW(1, r, dst) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Chain.PrecondApplyIntoW(1, r, dst)
+	}
+}

@@ -17,42 +17,62 @@ import (
 // returns bitwise-identical vectors to k independent Solve calls. Columns
 // that converge (or break down) drop out of the active set exactly where
 // the single-column driver would have stopped.
+//
+// Scratch lives in the same per-solve workspace as the single path (one
+// column set per batch column), so steady-state batch applications reuse
+// buffers across iterations and stream windows.
 
 // solveLevelBatch is solveLevel over k columns: one Chebyshev sweep (or one
-// bottom direct solve) serving the whole batch.
-func (c *Chain) solveLevelBatch(workers, i int, bs [][]float64) [][]float64 {
+// bottom direct solve) serving the whole batch. Results are workspace
+// column views.
+func (c *Chain) solveLevelBatch(workers, i int, bs [][]float64, ws *workspace) [][]float64 {
 	if i >= len(c.Levels) {
 		c.bottomSolves.Add(int64(len(bs)))
 		nb := int64(c.BottomG.N)
 		c.rec.Add(int64(len(bs))*nb*nb, 1)
-		return c.Bottom.SolveBatchW(workers, bs)
+		xs := ws.bot.x[:len(bs)]
+		c.Bottom.SolveBatchIntoW(workers, bs, xs, ws.bot.g[:len(bs)])
+		return xs
 	}
-	lvl := &c.Levels[i]
-	return chebyshevBatch(workers, lvl.Lap, bs, lvl.ChebIts, lvl.EigLo, lvl.EigHi,
-		func(rs [][]float64) [][]float64 { return c.applyHBatch(workers, i, rs) },
-		lvl.CompIdx, c.rec)
+	return c.chebLevelBatch(workers, i, bs, ws)
 }
 
 // applyHBatch is applyH over k columns: one forward/backward replay of the
 // elimination log per batch instead of per RHS.
-func (c *Chain) applyHBatch(workers, i int, rs [][]float64) [][]float64 {
+func (c *Chain) applyHBatch(workers, i int, rs [][]float64, ws *workspace) [][]float64 {
+	k := len(rs)
 	lvl := &c.Levels[i]
-	red, carry := lvl.Elim.ForwardRHSBatchW(workers, rs)
-	xr := c.solveLevelBatch(workers, i+1, red)
-	zs := lvl.Elim.BackSolveBatchW(workers, xr, carry)
+	l := &ws.lvl[i]
+	lvl.Elim.ForwardRHSBatchIntoW(workers, rs, l.fwdWork[:k], l.fwdCarry[:k], l.fwdRed[:k])
+	xr := c.solveLevelBatch(workers, i+1, l.fwdRed[:k], ws)
+	zs := l.backX[:k]
+	lvl.Elim.BackSolveBatchIntoW(workers, xr, l.fwdCarry[:k], zs)
 	matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, lvl.CompIdx)
-	c.rec.Add(int64(len(rs))*(int64(len(lvl.Elim.Ops))+int64(len(rs[0]))), int64(lvl.Elim.Rounds)+1)
+	c.rec.Add(int64(k)*(int64(len(lvl.Elim.Ops))+int64(len(rs[0]))), int64(lvl.Elim.Rounds)+1)
 	return zs
+}
+
+// applyHTopBatch applies the whole-chain preconditioner to k residuals into
+// ws and returns the workspace-resident columns.
+func (c *Chain) applyHTopBatch(workers int, rs [][]float64, ws *workspace) [][]float64 {
+	if len(c.Levels) == 0 {
+		xs := ws.bot.x[:len(rs)]
+		c.Bottom.SolveBatchIntoW(workers, rs, xs, ws.bot.g[:len(rs)])
+		return xs
+	}
+	return c.applyHBatch(workers, 0, rs, ws)
 }
 
 // PrecondApplyBatchW applies the top-level preconditioner to k residuals in
 // one chain pass. Column c is bitwise identical to PrecondApplyW on that
-// column. Safe for concurrent use (the Chain is read-only after build).
+// column; the returned columns are freshly allocated (caller-owned). Safe
+// for concurrent use (the Chain is read-only after build).
 func (c *Chain) PrecondApplyBatchW(workers int, rs [][]float64) [][]float64 {
-	if len(c.Levels) == 0 {
-		return c.Bottom.SolveBatchW(workers, rs)
-	}
-	return c.applyHBatch(workers, 0, rs)
+	ws := c.ws.get(c, len(rs))
+	zs := c.applyHTopBatch(workers, rs, ws)
+	out := matrix.CopyVecBatch(zs)
+	c.ws.put(ws)
+	return out
 }
 
 // fillScalar broadcasts v into dst (scratch for the batch AXPY kernels,
@@ -63,47 +83,41 @@ func fillScalar(dst []float64, v float64) {
 	}
 }
 
-// chebyshevBatch runs the fixed-degree preconditioned Chebyshev iteration of
-// chebyshev() on k columns at once. The Chebyshev recurrence scalars depend
-// only on the spectral interval and the iteration index — never on the data
-// — so one scalar schedule drives all columns and each column reproduces the
+// chebLevelBatch runs chebLevel's fixed-degree preconditioned Chebyshev
+// iteration on k columns at once. The recurrence scalars depend only on the
+// spectral interval and the iteration index — never on the data — so one
+// scalar schedule drives all columns and each column reproduces the
 // single-column iteration bitwise.
-func chebyshevBatch(workers int, a *matrix.Sparse, bs [][]float64, iters int, lo, hi float64,
-	precond func([][]float64) [][]float64, ci *matrix.CompIndex, rec *wd.Recorder) [][]float64 {
+func (c *Chain) chebLevelBatch(workers, i int, bs [][]float64, ws *workspace) [][]float64 {
 	k := len(bs)
 	if k == 1 {
-		single := func(r []float64) []float64 { return precond([][]float64{r})[0] }
-		return [][]float64{chebyshev(workers, a, bs[0], iters, lo, hi, single, ci, rec)}
+		return [][]float64{c.chebLevel(workers, i, bs[0], ws)}
 	}
+	lvl := &c.Levels[i]
+	a := lvl.Lap
+	ci := lvl.CompIdx
+	l := &ws.lvl[i]
+	xs, rs, ps, aps := l.chebX[:k], l.chebR[:k], l.chebP[:k], l.chebAp[:k]
+	scal := l.scal[:k]
 	n := a.N
-	xs := make([][]float64, k)
-	aps := make([][]float64, k)
-	for c := range xs {
-		xs[c] = make([]float64, n)
-		aps[c] = make([]float64, n)
+	for col := 0; col < k; col++ {
+		x := xs[col]
+		for j := 0; j < n; j++ {
+			x[j] = 0
+		}
+		copy(rs[col], bs[col])
 	}
-	rs := matrix.CopyVecBatch(bs)
 	matrix.ProjectOutConstantMaskedBatchIdxW(workers, rs, ci)
-	d := (hi + lo) / 2
-	cc := (hi - lo) / 2
-	var ps [][]float64
-	var alpha, beta float64
-	scal := make([]float64, k)
-	for it := 0; it < iters; it++ {
-		zs := precond(rs)
+	co := newChebCoeffs(lvl.EigLo, lvl.EigHi)
+	for it := 0; it < lvl.ChebIts; it++ {
+		zs := c.applyHBatch(workers, i, rs, ws)
 		matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, ci)
-		switch it {
-		case 0:
-			ps = matrix.CopyVecBatch(zs)
-			alpha = 1 / d
-		case 1:
-			beta = 0.5 * (cc * alpha) * (cc * alpha)
-			alpha = 1 / (d - beta/alpha)
-			fillScalar(scal, beta)
-			matrix.AxpyBatchW(workers, ps, scal, ps, zs)
-		default:
-			beta = (cc * alpha / 2) * (cc * alpha / 2)
-			alpha = 1 / (d - beta/alpha)
+		alpha, beta, first := co.step(it)
+		if first {
+			for col := 0; col < k; col++ {
+				copy(ps[col], zs[col])
+			}
+		} else {
 			fillScalar(scal, beta)
 			matrix.AxpyBatchW(workers, ps, scal, ps, zs)
 		}
@@ -112,7 +126,7 @@ func chebyshevBatch(workers int, a *matrix.Sparse, bs [][]float64, iters int, lo
 		a.MulVecBatchW(workers, ps, aps)
 		fillScalar(scal, -alpha)
 		matrix.AxpyBatchW(workers, rs, scal, aps, rs)
-		rec.Add(int64(k)*int64(a.NNZ()+6*n), 2)
+		c.rec.Add(int64(k)*int64(a.NNZ()+6*n), 2)
 	}
 	matrix.ProjectOutConstantMaskedBatchIdxW(workers, xs, ci)
 	return xs
@@ -134,20 +148,31 @@ func gatherCols(src [][]float64, idx []int) [][]float64 {
 // driver — same kernels, same order, same break points — so xs[c] is
 // bitwise identical to pcgFlexible on bs[c]. Columns leave the active set
 // when they converge or the preconditioner breaks down for them, exactly
-// where pcgFlexible would have returned.
+// where pcgFlexible would have returned. ws supplies the iteration scratch
+// (nil allocates fresh buffers, the baseline drivers' path).
 func pcgFlexibleBatch(workers int, a *matrix.Sparse, bs [][]float64,
 	precond func([][]float64) [][]float64, ci *matrix.CompIndex,
-	tol float64, maxIter int, rec *wd.Recorder) ([][]float64, []SolveStats) {
+	tol float64, maxIter int, ws *workspace, rec *wd.Recorder) ([][]float64, []SolveStats) {
 	k := len(bs)
 	n := a.N
 	xs := make([][]float64, k)
-	aps := make([][]float64, k)
 	stats := make([]SolveStats, k)
 	for c := range xs {
 		xs[c] = make([]float64, n)
-		aps[c] = make([]float64, n)
 	}
-	rs := matrix.CopyVecBatch(bs)
+	var aps, rs, prevRs, diffBuf, ps [][]float64
+	var scal []float64
+	if ws != nil {
+		ws.ensureOuter(n)
+		aps, rs, prevRs = ws.pcgAp[:k], ws.pcgR[:k], ws.pcgPrev[:k]
+		diffBuf, ps, scal = ws.pcgDiff[:k], ws.pcgP[:k], ws.pcgScal[:k]
+	} else {
+		aps, rs, prevRs = newCols(k, n), newCols(k, n), newCols(k, n)
+		diffBuf, ps, scal = newCols(k, n), newCols(k, n), make([]float64, k)
+	}
+	for c := range bs {
+		copy(rs[c], bs[c])
+	}
 	matrix.ProjectOutConstantMaskedBatchIdxW(workers, rs, ci)
 	bnorms := matrix.Norm2BatchW(workers, rs)
 	// needsProject marks columns whose x must be projected on exit (every
@@ -163,19 +188,16 @@ func pcgFlexibleBatch(workers int, a *matrix.Sparse, bs [][]float64,
 		active = append(active, c)
 	}
 	rzs := make([]float64, k)
-	ps := make([][]float64, k)
-	prevRs := make([][]float64, k)
 	if len(active) > 0 {
 		zs := precond(gatherCols(rs, active))
 		matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, ci)
 		dots := matrix.DotBatchW(workers, gatherCols(rs, active), zs)
 		for i, c := range active {
-			ps[c] = matrix.CopyVec(zs[i])
+			copy(ps[c], zs[i])
 			rzs[c] = dots[i]
-			prevRs[c] = matrix.CopyVec(rs[c])
+			copy(prevRs[c], rs[c])
 		}
 	}
-	scal := make([]float64, k)
 	for it := 0; it < maxIter && len(active) > 0; it++ {
 		for _, c := range active {
 			stats[c].Iterations = it + 1
@@ -224,10 +246,7 @@ func pcgFlexibleBatch(workers int, a *matrix.Sparse, bs [][]float64,
 		// One chain pass for every still-active column.
 		zs := precond(gatherCols(rs, active))
 		matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, ci)
-		diffs := make([][]float64, len(active))
-		for i := range diffs {
-			diffs[i] = make([]float64, n)
-		}
+		diffs := gatherCols(diffBuf, active)
 		matrix.SubIntoBatchW(workers, diffs, gatherCols(rs, active), gatherCols(prevRs, active))
 		zdiffs := matrix.DotBatchW(workers, zs, diffs)
 		newRzs := matrix.DotBatchW(workers, gatherCols(rs, active), zs)
@@ -254,7 +273,7 @@ func pcgFlexibleBatch(workers int, a *matrix.Sparse, bs [][]float64,
 			for j, i := range fallback {
 				c := active[i]
 				rzs[c] = rrs[j]
-				zs[i] = matrix.CopyVec(rs[c])
+				copy(zs[i], rs[c]) // zs[i] is chain (or fresh) scratch: safe to overwrite
 			}
 		}
 		matrix.AxpyBatchW(workers, gatherCols(ps, active), betas, gatherCols(ps, active), zs)

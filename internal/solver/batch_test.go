@@ -133,7 +133,7 @@ func TestSolveBatchSharesChainPasses(t *testing.T) {
 		passes++
 		return s.Chain.PrecondApplyBatchW(0, rs)
 	}
-	_, sts := pcgFlexibleBatch(0, s.Lap, bs, pre, s.CompIdx, 1e-7, s.MaxIter, s.rec)
+	_, sts := pcgFlexibleBatch(0, s.Lap, bs, pre, s.CompIdx, 1e-7, s.MaxIter, nil, s.rec)
 	maxIters := 0
 	for c := range sts {
 		if !sts[c].Converged {

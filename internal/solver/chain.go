@@ -36,12 +36,39 @@ type ChainParams struct {
 	// iteration count) while deeper levels trade fidelity for shrinkage.
 	// Default 2.
 	KappaGrowth float64
-	// ChebSlack multiplies κ when setting Chebyshev's spectral lower bound,
-	// absorbing the sampling constants in H ⪯ O(κ)·G. Default 1.5.
+	// ChebSlack multiplies κ when setting the STATIC Chebyshev lower bound
+	// EigHi/(κ·ChebSlack), absorbing the sampling constants in H ⪯ O(κ)·G.
+	// Since calibration measures the interval, this bound only acts as the
+	// safety envelope: the measured EigLo is never allowed below it.
+	// Default 1.5.
 	ChebSlack float64
 	// MaxChebIts caps the per-level Chebyshev iteration count ⌈√κ⌉,
 	// bounding the recursion fan-out. Default 24.
 	MaxChebIts int
+	// MinChebIts floors the calibrated per-level iteration count (replaces
+	// the previously hardcoded 4). Default 4.
+	MinChebIts int
+	// CalibIters is the Lanczos iteration count per level used to measure
+	// both ends of spec(H⁻¹A) at calibration time (replaces the fixed
+	// 12-step λmax-only power iteration). Default 16.
+	CalibIters int
+	// EigSafety pads the measured spectral bounds — EigHi = λmax·EigSafety,
+	// EigLo = λmin/√EigSafety — because Ritz values approach the spectrum
+	// from inside; the upper end gets the full margin (beyond it a fixed-
+	// degree Chebyshev polynomial diverges), the lower end only a square
+	// root (a high floor merely under-damps the lowest modes). Replaces
+	// the hardcoded 1.3 power-iteration margin. Default 1.2.
+	EigSafety float64
+	// ChebBudget multiplies the measured per-level shrink m_{i-1}/m_i to
+	// form the work-balance cap on ChebIts (replaces the hardcoded 1.5,
+	// which pushed nearly all convergence work into the outer PCG loop):
+	// level i may spend at most ChebBudget·(m_{i-1}/m_i) inner iterations,
+	// keeping one preconditioner application O(ChebBudget·m) work. The
+	// default 3 trades ~1.5× per-application work for a 1.7–2.6× cut in
+	// outer iterations on the benchmark testbed and near-flat iteration
+	// growth with n (the measured ⌈√κ⌉ schedule binds before the budget on
+	// well-sparsified levels). See calibrate.
+	ChebBudget float64
 	Seed       int64
 }
 
@@ -56,6 +83,10 @@ func DefaultChainParams() ChainParams {
 		KappaGrowth:       2,
 		ChebSlack:         1.5,
 		MaxChebIts:        24,
+		MinChebIts:        4,
+		CalibIters:        16,
+		EigSafety:         1.2,
+		ChebBudget:        3,
 		Seed:              1,
 	}
 }
@@ -73,12 +104,19 @@ type Level struct {
 	Spars   *SparsifyResult // B_i = Spars.H
 	Elim    *Elimination    // partial Cholesky B_i → A_{i+1}
 	Kappa   float64         // condition target used for B_i
-	ChebIts int             // inner Chebyshev iterations ≈ ⌈√κ⌉ when recursing
-	// EigHi/EigLo bound spec(H⁻¹A) at this level. EigHi is calibrated by
-	// power iteration at construction time (the sampling constants hidden
-	// in "H ⪯ O(κ)G" make a fixed a-priori bound unsafe); EigLo is
-	// EigHi/(κ·ChebSlack).
+	ChebIts int             // inner Chebyshev iterations ⌈√(EigHi/EigLo)⌉ when recursing
+	// EigHi/EigLo bound spec(H⁻¹A) at this level. Both ends are MEASURED at
+	// construction time by the Lanczos estimator (spectral.go), padded by
+	// EigSafety; EigLo is additionally floored by the static theory envelope
+	// EigHi/(κ·ChebSlack), so the calibrated interval is never wider than
+	// the pre-measurement schedule would have assumed.
 	EigHi, EigLo float64
+	// KappaMeasured is the measured condition number λmax/λmin of the
+	// preconditioned operator (raw Ritz ratio, before safety padding);
+	// 0 when calibration fell back to the static schedule.
+	KappaMeasured float64
+	// Calibrated reports whether the Lanczos measurement succeeded.
+	Calibrated bool
 }
 
 // Chain is the full preconditioning chain (Definition 6.3).
@@ -100,6 +138,11 @@ type Chain struct {
 
 	bottomSolves atomic.Int64
 	rec          *wd.Recorder
+	// ws pools per-solve workspaces for the public PrecondApply entry
+	// points (the Solver keeps its own pool for full solves). Like the
+	// bottomSolves counter it is internally synchronized and exempt from
+	// the read-only-after-build contract.
+	ws wsPool
 }
 
 // BottomSolves returns the number of bottom-level direct solves performed
@@ -132,6 +175,18 @@ func BuildChainOpts(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder
 	if p.MaxChebIts <= 0 {
 		p.MaxChebIts = 24
 	}
+	if p.MinChebIts <= 0 {
+		p.MinChebIts = 4
+	}
+	if p.CalibIters <= 0 {
+		p.CalibIters = 16
+	}
+	if p.EigSafety <= 1 {
+		p.EigSafety = 1.2
+	}
+	if p.ChebBudget <= 0 {
+		p.ChebBudget = 3
+	}
 	bottomEdges := p.BottomSizeEdges
 	if bottomEdges <= 0 {
 		bottomEdges = int(math.Ceil(math.Cbrt(float64(g.M())))) + p.BottomFloor
@@ -154,6 +209,12 @@ func BuildChainOpts(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder
 		kappa *= p.KappaGrowth
 		res := IncrementalSparsify(cur, sp, rng, rec)
 		elim := GreedyEliminationW(w, res.H, rng, rec)
+		// The shrink-retry decision uses the MEASURED edge shrink but the
+		// nominal κ for the retry: a level's measured condition number needs
+		// the completed chain below it (calibrate's Lanczos applies the full
+		// recursive preconditioner), which does not exist yet mid-build.
+		// Calibration then measures the retried level like any other, so a
+		// coarser retry still ends up with a measured, not assumed, interval.
 		if float64(elim.Reduced.M()) > p.ShrinkRetry*float64(cur.M()) {
 			// Retry once with a coarser preconditioner.
 			sp.Kappa *= 2
@@ -194,65 +255,105 @@ func BuildChainOpts(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder
 	return c, nil
 }
 
-// calibrate finalizes the chain's runtime schedule bottom-up:
+// calibrate finalizes the chain's runtime schedule bottom-up, measuring
+// instead of assuming:
 //
 //  1. Work balance. The theory affords ⌈√κᵢ⌉ recursive calls per level
 //     because its levels shrink by κ^Ω(1) ≫ √κ; at practical sizes the
 //     measured shrink is a small constant, so a √κ budget makes total work
-//     grow geometrically with depth. We instead set each level's Chebyshev
-//     budget to ~80% of the measured shrink m_{i-1}/m_i (capped by √κ and
-//     MaxChebIts), which keeps one top-level preconditioner application at
-//     O(m) work — the near-linear-work discipline of Theorem 1.1 — and
-//     lets the adaptive outer iteration absorb the weaker inner solves.
-//  2. Spectral bounds. Estimate λmax of each level's preconditioned
-//     operator H⁻¹A by power iteration and derive the Chebyshev interval
-//     [EigHi/(κ·slack), EigHi]. Without calibration a single under-sampled
-//     edge can push spec(H⁻¹A) above the assumed bound, where a fixed-
-//     degree Chebyshev polynomial blows up exponentially.
+//     grow geometrically with depth. Each level's Chebyshev budget is
+//     capped at ChebBudget × the measured shrink m_{i-1}/m_i (and by √κ
+//     and MaxChebIts), which keeps one top-level preconditioner
+//     application at O(m) work — the near-linear-work discipline of
+//     Theorem 1.1 — and lets the adaptive outer iteration absorb the
+//     weaker inner solves.
+//  2. Spectral bounds. Measure BOTH ends of each level's preconditioned
+//     spectrum spec(H⁻¹A) with the Lanczos estimator (spectral.go) and set
+//     the Chebyshev interval to the safety-padded measurement, floored by
+//     the static theory envelope EigHi/(κ·ChebSlack). The per-level
+//     iteration count becomes ⌈√(EigHi/EigLo)⌉ — the measured condition
+//     number, not the nominal κ·slack product, so levels whose sparsifier
+//     beat its target run proportionally fewer (and better-centered)
+//     Chebyshev iterations. Without the measured upper bound a single
+//     under-sampled edge can push spec(H⁻¹A) above the assumed interval,
+//     where a fixed-degree Chebyshev polynomial blows up exponentially.
+//
+// The loop runs bottom-up and finalizes each level's ChebIts BEFORE
+// measuring the level above, so every measurement sees the actual adapted
+// preconditioner it will run against. The rng is consumed in a fixed
+// sequential order and every kernel uses par's fixed reduction trees, so
+// the calibrated schedule is bitwise identical for every worker count.
 func (c *Chain) calibrate(rng *rand.Rand) {
+	if len(c.Levels) == 0 {
+		return
+	}
 	w := c.Opt.Workers
+	p := &c.Params
+	ws := newWorkspace(c, 1)
+	// Work-balance budget per level from the measured shrink. lvl.ChebIts
+	// still holds the static ⌈√(κ·slack)⌉ cap from the build loop.
+	budget := make([]int, len(c.Levels))
 	for i := range c.Levels {
 		lvl := &c.Levels[i]
-		var prevM int
-		if i == 0 {
-			prevM = lvl.G.M() // top level: budget vs itself (outer is adaptive)
-		} else {
+		prevM := lvl.G.M() // top level: budget vs itself (outer is adaptive)
+		if i > 0 {
 			prevM = c.Levels[i-1].G.M()
 		}
 		shrink := float64(prevM) / float64(lvl.G.M()+1)
-		its := int(math.Ceil(1.5 * shrink))
-		if its < 4 {
-			its = 4
+		its := int(math.Ceil(p.ChebBudget * shrink))
+		if its < p.MinChebIts {
+			its = p.MinChebIts
 		}
-		if its < lvl.ChebIts {
-			lvl.ChebIts = its
+		if its > lvl.ChebIts {
+			its = lvl.ChebIts
 		}
+		budget[i] = its
 	}
 	for i := len(c.Levels) - 1; i >= 0; i-- {
 		lvl := &c.Levels[i]
-		n := lvl.G.N
-		x := make([]float64, n)
-		for j := range x {
-			x[j] = rng.NormFloat64()
+		lo, hi, ok := c.lanczosBounds(w, i, p.CalibIters, rng, ws)
+		lvl.Calibrated = ok
+		if !ok {
+			// Unusable measurement: fall back to the static schedule (the
+			// envelope the pre-measurement chain would have assumed).
+			lvl.EigHi = p.EigSafety
+			lvl.EigLo = lvl.EigHi / (lvl.Kappa * p.ChebSlack)
+			lvl.KappaMeasured = 0
+			lvl.ChebIts = budget[i]
+			continue
 		}
-		matrix.ProjectOutConstantMaskedIdxW(w, x, lvl.CompIdx)
-		lam := 1.0
-		ax := make([]float64, n)
-		for it := 0; it < 12; it++ {
-			lvl.Lap.MulVecW(w, x, ax)
-			y := c.applyH(w, i, ax)
-			matrix.ProjectOutConstantMaskedIdxW(w, y, lvl.CompIdx)
-			ny := matrix.Norm2W(w, y)
-			if ny == 0 {
-				break
-			}
-			lam = ny / matrix.Norm2W(w, x)
-			matrix.ScaleIntoW(w, y, 1/ny, y)
-			x = y
+		lvl.KappaMeasured = hi / lo
+		lvl.EigHi = hi * p.EigSafety
+		staticLo := lvl.EigHi / (lvl.Kappa * p.ChebSlack)
+		// Asymmetric padding: EigHi gets the full safety margin (outside
+		// the interval a fixed-degree Chebyshev polynomial diverges), EigLo
+		// only √EigSafety (a slightly-high floor merely under-damps the
+		// lowest modes, which the adaptive outer iteration absorbs).
+		measLo := lo / math.Sqrt(p.EigSafety)
+		if measLo < staticLo {
+			measLo = staticLo // safety envelope: never schedule worse than κ·slack
 		}
-		lvl.EigHi = lam * 1.3 // safety margin over the power-iteration estimate
-		lvl.EigLo = lvl.EigHi / (lvl.Kappa * c.Params.ChebSlack)
+		if measLo > lvl.EigHi/2 {
+			measLo = lvl.EigHi / 2 // keep a non-degenerate interval
+		}
+		lvl.EigLo = measLo
+		its := int(math.Ceil(math.Sqrt(lvl.EigHi / lvl.EigLo)))
+		if its > budget[i] && i > 0 {
+			its = budget[i]
+		}
+		if its > p.MaxChebIts {
+			its = p.MaxChebIts
+		}
+		if its < p.MinChebIts {
+			its = p.MinChebIts
+		}
+		lvl.ChebIts = its
 	}
+	// Seed the chain's workspace pool with the calibration workspace (its
+	// footprint charged, so the build-time MemoryBytes snapshot the serving
+	// cache budgets against already includes the retained scratch) — the
+	// first PrecondApply reuses it.
+	c.ws.seed(ws)
 }
 
 // mergeParallelW merges parallel edges (summing conductances) and drops
@@ -328,7 +429,42 @@ func (c *Chain) MemoryBytes() int64 {
 	if c.Bottom != nil {
 		b += c.Bottom.MemoryBytes()
 	}
+	// Workspace pool: the high-water estimate of per-solve scratch retained
+	// between GCs by the chain's own PrecondApply pool.
+	b += c.ws.PeakBytes()
 	return b
+}
+
+// LevelSchedule is one level's calibrated runtime schedule — the quantities
+// a serving layer exposes so κ-schedule behavior is observable in
+// production. KappaTarget is the nominal κ fed to the sparsifier;
+// KappaMeasured the measured condition number of the preconditioned
+// operator (0 when calibration fell back to the static envelope).
+type LevelSchedule struct {
+	Level         int     `json:"level"`
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	KappaTarget   float64 `json:"kappa_target"`
+	KappaMeasured float64 `json:"kappa_measured"`
+	EigLo         float64 `json:"eig_lo"`
+	EigHi         float64 `json:"eig_hi"`
+	ChebIts       int     `json:"cheb_its"`
+	Calibrated    bool    `json:"calibrated"`
+}
+
+// Schedule returns the calibrated per-level schedule (top level first).
+func (c *Chain) Schedule() []LevelSchedule {
+	out := make([]LevelSchedule, len(c.Levels))
+	for i := range c.Levels {
+		lvl := &c.Levels[i]
+		out[i] = LevelSchedule{
+			Level: i, N: lvl.G.N, M: lvl.G.M(),
+			KappaTarget: lvl.Kappa, KappaMeasured: lvl.KappaMeasured,
+			EigLo: lvl.EigLo, EigHi: lvl.EigHi,
+			ChebIts: lvl.ChebIts, Calibrated: lvl.Calibrated,
+		}
+	}
+	return out
 }
 
 // EdgeCounts returns the edge count of every level plus the bottom graph,
@@ -344,32 +480,82 @@ func (c *Chain) EdgeCounts() []int {
 
 // solveLevel approximately solves A_i x = b by preconditioned Chebyshev
 // iteration with the next level as preconditioner; the bottom level solves
-// exactly (Lemma 6.7 / 6.8 recursion).
-func (c *Chain) solveLevel(workers, i int, b []float64) []float64 {
+// exactly (Lemma 6.7 / 6.8 recursion). The result lives in ws (the level's
+// Chebyshev x, or the bottom solution buffer) and stays valid until the
+// level's scratch is next used.
+func (c *Chain) solveLevel(workers, i int, b []float64, ws *workspace) []float64 {
 	if i >= len(c.Levels) {
 		c.bottomSolves.Add(1)
 		nb := int64(c.BottomG.N)
 		c.rec.Add(nb*nb, 1)
-		return c.Bottom.SolveW(workers, b)
+		c.Bottom.SolveIntoW(workers, b, ws.bot.x[0], ws.bot.g[0])
+		return ws.bot.x[0]
 	}
+	return c.chebLevel(workers, i, b, ws)
+}
+
+// chebLevel runs level i's fixed-degree preconditioned Chebyshev iteration
+// (the recurrence of iterative.go's chebyshev, specialized to the chain) on
+// workspace-resident vectors: spec(M⁻¹A) ⊆ [EigLo, EigHi], exactly ChebIts
+// iterations, preconditioned by applyH(i). Keeping the recursion closure-
+// free and the scratch level-resident is what makes a steady-state
+// preconditioner application allocation-free.
+func (c *Chain) chebLevel(workers, i int, b []float64, ws *workspace) []float64 {
 	lvl := &c.Levels[i]
-	return chebyshev(workers, lvl.Lap, b, lvl.ChebIts, lvl.EigLo, lvl.EigHi,
-		func(r []float64) []float64 { return c.applyH(workers, i, r) },
-		lvl.CompIdx, c.rec)
+	a := lvl.Lap
+	ci := lvl.CompIdx
+	l := &ws.lvl[i]
+	x, r, p, ap := l.chebX[0], l.chebR[0], l.chebP[0], l.chebAp[0]
+	n := a.N
+	for j := 0; j < n; j++ {
+		x[j] = 0
+	}
+	copy(r, b)
+	matrix.ProjectOutConstantMaskedIdxW(workers, r, ci)
+	co := newChebCoeffs(lvl.EigLo, lvl.EigHi)
+	for k := 0; k < lvl.ChebIts; k++ {
+		z := c.applyH(workers, i, r, ws)
+		matrix.ProjectOutConstantMaskedIdxW(workers, z, ci)
+		alpha, beta, first := co.step(k)
+		if first {
+			copy(p, z)
+		} else {
+			matrix.AxpyIntoW(workers, p, beta, p, z)
+		}
+		matrix.AxpyIntoW(workers, x, alpha, p, x)
+		a.MulVecW(workers, p, ap)
+		matrix.AxpyIntoW(workers, r, -alpha, ap, r)
+		c.rec.Add(int64(a.NNZ()+6*n), 2)
+	}
+	matrix.ProjectOutConstantMaskedIdxW(workers, x, ci)
+	return x
 }
 
 // applyH solves the preconditioner system H_i z = r by partial-Cholesky
-// elimination into A_{i+1}, a recursive solve there, and back-substitution.
-// The κ scaling of the subgraph inside H is part of H's definition, so no
-// extra scaling appears here.
-func (c *Chain) applyH(workers, i int, r []float64) []float64 {
+// elimination into A_{i+1}, a recursive solve there, and back-substitution,
+// entirely in level-resident workspace buffers. The κ scaling of the
+// subgraph inside H is part of H's definition, so no extra scaling appears
+// here. The returned z is ws's level-i back-substitution buffer.
+func (c *Chain) applyH(workers, i int, r []float64, ws *workspace) []float64 {
 	lvl := &c.Levels[i]
-	red, carry := lvl.Elim.ForwardRHSW(workers, r)
-	xr := c.solveLevel(workers, i+1, red)
-	z := lvl.Elim.BackSolveW(workers, xr, carry)
+	l := &ws.lvl[i]
+	lvl.Elim.ForwardRHSIntoW(workers, r, l.fwdWork[0], l.fwdCarry[0], l.fwdRed[0])
+	xr := c.solveLevel(workers, i+1, l.fwdRed[0], ws)
+	lvl.Elim.BackSolveIntoW(workers, xr, l.fwdCarry[0], l.backX[0])
+	z := l.backX[0]
 	matrix.ProjectOutConstantMaskedIdxW(workers, z, lvl.CompIdx)
 	c.rec.Add(int64(len(lvl.Elim.Ops))+int64(len(r)), int64(lvl.Elim.Rounds)+1)
 	return z
+}
+
+// applyHTop applies the whole-chain preconditioner into ws and returns the
+// workspace-resident result (valid until ws is reused).
+func (c *Chain) applyHTop(workers int, r []float64, ws *workspace) []float64 {
+	if len(c.Levels) == 0 {
+		c.Bottom.SolveIntoW(workers, r, ws.bot.x[0], ws.bot.g[0])
+		return ws.bot.x[0]
+	}
+	return c.applyH(workers, 0, r, ws)
 }
 
 // PrecondApply exposes one application of the top-level preconditioner
@@ -382,10 +568,22 @@ func (c *Chain) PrecondApply(r []float64) []float64 {
 // PrecondApplyW is PrecondApply with a per-call worker count, letting a
 // serving layer split a global worker budget across concurrent solves
 // without rebuilding the chain. Results are bitwise identical for every
-// workers value.
+// workers value. The returned vector is freshly allocated (caller-owned);
+// repeated callers who want the allocation-free path should use
+// PrecondApplyIntoW.
 func (c *Chain) PrecondApplyW(workers int, r []float64) []float64 {
-	if len(c.Levels) == 0 {
-		return c.Bottom.SolveW(workers, r)
-	}
-	return c.applyH(workers, 0, r)
+	out := make([]float64, len(r))
+	c.PrecondApplyIntoW(workers, r, out)
+	return out
+}
+
+// PrecondApplyIntoW applies the top-level preconditioner into dst (length
+// n, fully overwritten; dst must not alias r). Scratch comes from the
+// chain's workspace pool, so steady-state applications perform zero heap
+// allocations at Workers:1 (locked by the solver package's allocation
+// test). Safe for concurrent use.
+func (c *Chain) PrecondApplyIntoW(workers int, r, dst []float64) {
+	ws := c.ws.get(c, 1)
+	copy(dst, c.applyHTop(workers, r, ws))
+	c.ws.put(ws)
 }

@@ -80,7 +80,7 @@ func TestPCGZeroRHS(t *testing.T) {
 	g := gen.Grid2D(5, 5)
 	lap := matrix.LaplacianOf(g)
 	comp, k := g.ConnectedComponents()
-	x, st := pcgFlexible(0, lap, make([]float64, g.N), matrix.CopyVec, matrix.NewCompIndex(comp, k), 1e-10, 100, nil)
+	x, st := pcgFlexible(0, lap, make([]float64, g.N), matrix.CopyVec, matrix.NewCompIndex(comp, k), 1e-10, 100, nil, nil)
 	if !st.Converged || st.Iterations != 0 {
 		t.Fatalf("zero rhs: %+v", st)
 	}
@@ -96,7 +96,7 @@ func TestPCGMaxIterRespected(t *testing.T) {
 	lap := matrix.LaplacianOf(g)
 	comp, k := g.ConnectedComponents()
 	b := randRHS(g.N, 5)
-	_, st := pcgFlexible(0, lap, b, matrix.CopyVec, matrix.NewCompIndex(comp, k), 1e-14, 7, nil)
+	_, st := pcgFlexible(0, lap, b, matrix.CopyVec, matrix.NewCompIndex(comp, k), 1e-14, 7, nil, nil)
 	if st.Iterations > 7 {
 		t.Fatalf("iterations %d exceed maxIter", st.Iterations)
 	}

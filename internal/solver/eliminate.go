@@ -493,17 +493,44 @@ func (el *Elimination) ForwardRHS(b []float64) (reduced, carry []float64) {
 // the same contributions would produce.
 func (el *Elimination) ForwardRHSW(workers int, b []float64) (reduced, carry []float64) {
 	work := make([]float64, el.OrigN)
-	copy(work, b)
 	carry = make([]float64, len(el.Ops))
+	reduced = make([]float64, len(el.Keep))
+	el.ForwardRHSIntoW(workers, b, work, carry, reduced)
+	return reduced, carry
+}
+
+// ForwardRHSIntoW is ForwardRHSW into caller-provided buffers: work (length
+// OrigN), carry (length len(Ops)) and reduced (length len(Keep)), each fully
+// overwritten. b is not modified. At workers==1 the replay runs as plain
+// loops — no closures, no goroutines, no allocation — with arithmetic
+// bitwise identical to every parallel schedule (the scatter order per
+// receiver is fixed by the reverse index either way).
+func (el *Elimination) ForwardRHSIntoW(workers int, b, work, carry, reduced []float64) {
+	copy(work, b)
+	seq := par.Sequential(workers)
 	for ri := 0; ri < el.Rounds; ri++ {
 		lo, hi := el.roundBounds(ri)
 		ops := el.Ops[lo:hi]
+		gLo, gHi := el.recvBounds(ri)
+		if seq {
+			for k := range ops {
+				carry[lo+k] = work[ops[k].V]
+			}
+			for g := gLo; g < gHi; g++ {
+				acc := work[el.recvVert[g]]
+				iLo, iHi := el.itemBounds(g)
+				for it := iLo; it < iHi; it++ {
+					acc += carry[el.recvOp[it]] * el.recvCoef[it]
+				}
+				work[el.recvVert[g]] = acc
+			}
+			continue
+		}
 		par.ForChunkedW(workers, len(ops), func(clo, chi int) {
 			for k := clo; k < chi; k++ {
 				carry[lo+k] = work[ops[k].V]
 			}
 		})
-		gLo, gHi := el.recvBounds(ri)
 		par.ForChunkedW(workers, gHi-gLo, func(clo, chi int) {
 			for g := gLo + clo; g < gLo+chi; g++ {
 				acc := work[el.recvVert[g]]
@@ -515,13 +542,17 @@ func (el *Elimination) ForwardRHSW(workers int, b []float64) (reduced, carry []f
 			}
 		})
 	}
-	reduced = make([]float64, len(el.Keep))
+	if seq {
+		for j := range el.Keep {
+			reduced[j] = work[el.Keep[j]]
+		}
+		return
+	}
 	par.ForChunkedW(workers, len(el.Keep), func(clo, chi int) {
 		for j := clo; j < chi; j++ {
 			reduced[j] = work[el.Keep[j]]
 		}
 	})
-	return reduced, carry
 }
 
 // ForwardRHSBatchW pushes k right-hand sides through the elimination with
@@ -531,18 +562,29 @@ func (el *Elimination) ForwardRHSW(workers int, b []float64) (reduced, carry []f
 // the result is bitwise identical to ForwardRHSW on bs[c] alone.
 func (el *Elimination) ForwardRHSBatchW(workers int, bs [][]float64) (reduced, carry [][]float64) {
 	kcols := len(bs)
-	if kcols == 1 {
-		r1, c1 := el.ForwardRHSW(workers, bs[0])
-		return [][]float64{r1}, [][]float64{c1}
-	}
 	works := make([][]float64, kcols)
+	carry = make([][]float64, kcols)
+	reduced = make([][]float64, kcols)
 	for c := range works {
 		works[c] = make([]float64, el.OrigN)
-		copy(works[c], bs[c])
-	}
-	carry = make([][]float64, kcols)
-	for c := range carry {
 		carry[c] = make([]float64, len(el.Ops))
+		reduced[c] = make([]float64, len(el.Keep))
+	}
+	el.ForwardRHSBatchIntoW(workers, bs, works, carry, reduced)
+	return reduced, carry
+}
+
+// ForwardRHSBatchIntoW is ForwardRHSBatchW into caller-provided column
+// buffers (sizes as in ForwardRHSIntoW, one per column, fully overwritten).
+// Column c is bitwise identical to ForwardRHSIntoW on bs[c] alone.
+func (el *Elimination) ForwardRHSBatchIntoW(workers int, bs, works, carry, reduced [][]float64) {
+	kcols := len(bs)
+	if kcols == 1 {
+		el.ForwardRHSIntoW(workers, bs[0], works[0], carry[0], reduced[0])
+		return
+	}
+	for c := range bs {
+		copy(works[c], bs[c])
 	}
 	for ri := 0; ri < el.Rounds; ri++ {
 		lo, hi := el.roundBounds(ri)
@@ -570,10 +612,6 @@ func (el *Elimination) ForwardRHSBatchW(workers int, bs [][]float64) (reduced, c
 			}
 		})
 	}
-	reduced = make([][]float64, kcols)
-	for c := range reduced {
-		reduced[c] = make([]float64, len(el.Keep))
-	}
 	par.ForChunkedW(workers, len(el.Keep), func(clo, chi int) {
 		for j := clo; j < chi; j++ {
 			kv := el.Keep[j]
@@ -582,7 +620,6 @@ func (el *Elimination) ForwardRHSBatchW(workers int, bs [][]float64) (reduced, c
 			}
 		}
 	})
-	return reduced, carry
 }
 
 // BackSolve extends a solution of the reduced system with the default worker
@@ -602,14 +639,43 @@ func (el *Elimination) BackSolve(xReduced, carry []float64) []float64 {
 // that rounds are the only sequential dependency.
 func (el *Elimination) BackSolveW(workers int, xReduced, carry []float64) []float64 {
 	x := make([]float64, el.OrigN)
-	par.ForChunkedW(workers, len(el.Keep), func(clo, chi int) {
-		for j := clo; j < chi; j++ {
+	el.BackSolveIntoW(workers, xReduced, carry, x)
+	return x
+}
+
+// BackSolveIntoW is BackSolveW into a caller-provided x (length OrigN, fully
+// overwritten: every vertex is either kept or eliminated by exactly one op).
+// At workers==1 the reverse replay runs as plain loops with no allocation.
+func (el *Elimination) BackSolveIntoW(workers int, xReduced, carry, x []float64) {
+	seq := par.Sequential(workers)
+	if seq {
+		for j := range el.Keep {
 			x[el.Keep[j]] = xReduced[j]
 		}
-	})
+	} else {
+		par.ForChunkedW(workers, len(el.Keep), func(clo, chi int) {
+			for j := clo; j < chi; j++ {
+				x[el.Keep[j]] = xReduced[j]
+			}
+		})
+	}
 	for ri := el.Rounds - 1; ri >= 0; ri-- {
 		lo, hi := el.roundBounds(ri)
 		ops := el.Ops[lo:hi]
+		if seq {
+			for k := range ops {
+				op := &ops[k]
+				switch op.Kind {
+				case elimDeg0:
+					x[op.V] = 0
+				case elimDeg1:
+					x[op.V] = x[op.A] + carry[lo+k]/op.W1
+				case elimDeg2:
+					x[op.V] = (op.W1*x[op.A] + op.W2*x[op.B] + carry[lo+k]) / (op.W1 + op.W2)
+				}
+			}
+			continue
+		}
 		par.ForChunkedW(workers, len(ops), func(clo, chi int) {
 			for k := clo; k < chi; k++ {
 				op := &ops[k]
@@ -624,20 +690,28 @@ func (el *Elimination) BackSolveW(workers int, xReduced, carry []float64) []floa
 			}
 		})
 	}
-	return x
 }
 
 // BackSolveBatchW is BackSolveW over k columns with one reverse replay of
 // the op log: each op's neighbor gather loops over the columns before
 // advancing. Column c is bitwise identical to BackSolveW on column c.
 func (el *Elimination) BackSolveBatchW(workers int, xReduced, carry [][]float64) [][]float64 {
-	kcols := len(xReduced)
-	if kcols == 1 {
-		return [][]float64{el.BackSolveW(workers, xReduced[0], carry[0])}
-	}
-	xs := make([][]float64, kcols)
+	xs := make([][]float64, len(xReduced))
 	for c := range xs {
 		xs[c] = make([]float64, el.OrigN)
+	}
+	el.BackSolveBatchIntoW(workers, xReduced, carry, xs)
+	return xs
+}
+
+// BackSolveBatchIntoW is BackSolveBatchW into caller-provided columns (each
+// length OrigN, fully overwritten). Column c is bitwise identical to
+// BackSolveIntoW on column c.
+func (el *Elimination) BackSolveBatchIntoW(workers int, xReduced, carry, xs [][]float64) {
+	kcols := len(xReduced)
+	if kcols == 1 {
+		el.BackSolveIntoW(workers, xReduced[0], carry[0], xs[0])
+		return
 	}
 	par.ForChunkedW(workers, len(el.Keep), func(clo, chi int) {
 		for j := clo; j < chi; j++ {
@@ -670,7 +744,6 @@ func (el *Elimination) BackSolveBatchW(workers int, xReduced, carry [][]float64)
 			}
 		})
 	}
-	return xs
 }
 
 // MemoryBytes estimates the elimination's retained footprint: the op log,

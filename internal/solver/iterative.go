@@ -7,6 +7,40 @@ import (
 	"parlap/internal/wd"
 )
 
+// chebCoeffs steps the Chebyshev recurrence scalars for spec(M⁻¹A) ⊆
+// [lo, hi]. The schedule depends only on the interval and the iteration
+// index — never on the data — and is shared by chebyshev, chebLevel and
+// chebLevelBatch so the three drivers (whose bitwise single/batch/chain
+// equivalences depend on identical scalars) cannot drift. A value type with
+// no allocation: safe for the zero-alloc apply path.
+type chebCoeffs struct {
+	d, cc, alpha, beta float64
+}
+
+func newChebCoeffs(lo, hi float64) chebCoeffs {
+	return chebCoeffs{d: (hi + lo) / 2, cc: (hi - lo) / 2}
+}
+
+// step advances to iteration k and returns the iteration's (alpha, beta);
+// first reports k == 0, where the search direction is initialized instead
+// of beta-updated. The two beta expressions are kept verbatim from the
+// original recurrence — they are algebraically equal but not bitwise, and
+// the pinned schedules depend on the exact float sequence.
+func (c *chebCoeffs) step(k int) (alpha, beta float64, first bool) {
+	switch k {
+	case 0:
+		c.alpha = 1 / c.d
+		return c.alpha, 0, true
+	case 1:
+		c.beta = 0.5 * (c.cc * c.alpha) * (c.cc * c.alpha)
+		c.alpha = 1 / (c.d - c.beta/c.alpha)
+	default:
+		c.beta = (c.cc * c.alpha / 2) * (c.cc * c.alpha / 2)
+		c.alpha = 1 / (c.d - c.beta/c.alpha)
+	}
+	return c.alpha, c.beta, false
+}
+
 // chebyshev runs preconditioned Chebyshev iteration on A x = b assuming
 // spec(M⁻¹A) ⊆ [a, bnd], performing exactly iters iterations (a fixed
 // linear operator, as Lemma 6.7 requires for the recursion). precond must
@@ -20,25 +54,16 @@ func chebyshev(workers int, a *matrix.Sparse, b []float64, iters int, lo, hi flo
 	x := make([]float64, n)
 	r := matrix.CopyVec(b)
 	matrix.ProjectOutConstantMaskedIdxW(workers, r, ci)
-	d := (hi + lo) / 2
-	cc := (hi - lo) / 2
+	co := newChebCoeffs(lo, hi)
 	var p []float64
-	var alpha, beta float64
 	ap := make([]float64, n)
 	for k := 0; k < iters; k++ {
 		z := precond(r)
 		matrix.ProjectOutConstantMaskedIdxW(workers, z, ci)
-		switch k {
-		case 0:
+		alpha, beta, first := co.step(k)
+		if first {
 			p = matrix.CopyVec(z)
-			alpha = 1 / d
-		case 1:
-			beta = 0.5 * (cc * alpha) * (cc * alpha)
-			alpha = 1 / (d - beta/alpha)
-			matrix.AxpyIntoW(workers, p, beta, p, z)
-		default:
-			beta = (cc * alpha / 2) * (cc * alpha / 2)
-			alpha = 1 / (d - beta/alpha)
+		} else {
 			matrix.AxpyIntoW(workers, p, beta, p, z)
 		}
 		matrix.AxpyIntoW(workers, x, alpha, p, x)
@@ -64,12 +89,24 @@ type SolveStats struct {
 // gradient: it tolerates the mildly nonlinear preconditioner that a
 // recursive Chebyshev chain is in floating point. Stops when the relative
 // residual drops below tol or after maxIter iterations. workers selects the
-// vector-kernel parallelism.
+// vector-kernel parallelism. ws supplies the iteration scratch (r, p, ap,
+// prevR, diff) so steady-state iterations are allocation-free; nil
+// allocates fresh buffers (the baseline drivers' path). Only the returned
+// solution vector is allocated per call — it outlives the workspace.
 func pcgFlexible(workers int, a *matrix.Sparse, b []float64, precond func([]float64) []float64,
-	ci *matrix.CompIndex, tol float64, maxIter int, rec *wd.Recorder) ([]float64, SolveStats) {
+	ci *matrix.CompIndex, tol float64, maxIter int, ws *workspace, rec *wd.Recorder) ([]float64, SolveStats) {
 	n := a.N
 	x := make([]float64, n)
-	r := matrix.CopyVec(b)
+	var r, p, ap, prevR, diff []float64
+	if ws != nil {
+		ws.ensureOuter(n)
+		r, p, ap = ws.pcgR[0], ws.pcgP[0], ws.pcgAp[0]
+		prevR, diff = ws.pcgPrev[0], ws.pcgDiff[0]
+	} else {
+		r, p, ap = make([]float64, n), make([]float64, n), make([]float64, n)
+		prevR, diff = make([]float64, n), make([]float64, n)
+	}
+	copy(r, b)
 	matrix.ProjectOutConstantMaskedIdxW(workers, r, ci)
 	bnorm := matrix.Norm2W(workers, r)
 	st := SolveStats{}
@@ -79,10 +116,9 @@ func pcgFlexible(workers int, a *matrix.Sparse, b []float64, precond func([]floa
 	}
 	z := precond(r)
 	matrix.ProjectOutConstantMaskedIdxW(workers, z, ci)
-	p := matrix.CopyVec(z)
+	copy(p, z)
 	rz := matrix.DotW(workers, r, z)
-	ap := make([]float64, n)
-	prevR := matrix.CopyVec(r)
+	copy(prevR, r)
 	for k := 0; k < maxIter; k++ {
 		st.Iterations = k + 1
 		a.MulVecW(workers, p, ap)
@@ -103,7 +139,6 @@ func pcgFlexible(workers int, a *matrix.Sparse, b []float64, precond func([]floa
 		z = precond(r)
 		matrix.ProjectOutConstantMaskedIdxW(workers, z, ci)
 		// Polak–Ribière: β = z·(r − r_prev) / rz_old (flexible variant).
-		diff := make([]float64, n)
 		matrix.SubIntoW(workers, diff, r, prevR)
 		beta := matrix.DotW(workers, z, diff) / rz
 		if beta < 0 || math.IsNaN(beta) {
@@ -112,7 +147,7 @@ func pcgFlexible(workers int, a *matrix.Sparse, b []float64, precond func([]floa
 		rz = matrix.DotW(workers, r, z)
 		if rz <= 0 || math.IsNaN(rz) {
 			rz = matrix.DotW(workers, r, r) // fall back to unpreconditioned direction
-			z = matrix.CopyVec(r)
+			copy(z, r)                      // z is precond scratch: safe to overwrite
 		}
 		matrix.AxpyIntoW(workers, p, beta, p, z)
 		copy(prevR, r)
@@ -124,7 +159,7 @@ func pcgFlexible(workers int, a *matrix.Sparse, b []float64, precond func([]floa
 
 // CG is the unpreconditioned conjugate-gradient baseline.
 func CG(a *matrix.Sparse, b []float64, comp []int, numComp int, tol float64, maxIter int, rec *wd.Recorder) ([]float64, SolveStats) {
-	return pcgFlexible(0, a, b, matrix.CopyVec, matrix.NewCompIndex(comp, numComp), tol, maxIter, rec)
+	return pcgFlexible(0, a, b, matrix.CopyVec, matrix.NewCompIndex(comp, numComp), tol, maxIter, nil, rec)
 }
 
 // JacobiPCG is the diagonally preconditioned CG baseline.
@@ -142,5 +177,5 @@ func JacobiPCG(a *matrix.Sparse, b []float64, comp []int, numComp int, tol float
 		}
 		return z
 	}
-	return pcgFlexible(0, a, b, precond, matrix.NewCompIndex(comp, numComp), tol, maxIter, rec)
+	return pcgFlexible(0, a, b, precond, matrix.NewCompIndex(comp, numComp), tol, maxIter, nil, rec)
 }

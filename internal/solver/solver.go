@@ -26,6 +26,12 @@ type Solver struct {
 
 	rec     *wd.Recorder
 	MaxIter int
+	// ws pools per-solve workspaces (chain scratch + outer PCG scratch)
+	// across Solve/SolveBatch/stream-window requests, making steady-state
+	// preconditioner applications allocation-free. Internally synchronized;
+	// exempt from the read-only-after-build contract like the chain's
+	// counters.
+	ws wsPool
 }
 
 // New builds a Solver for the Laplacian of g with the default execution
@@ -60,15 +66,28 @@ func NewWithOptions(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder
 }
 
 // MemoryBytes estimates the solver's retained footprint — the input graph,
-// its Laplacian, the component labels and the whole preconditioner chain —
-// the per-entry cost a serving layer's byte-budgeted cache accounts for.
+// its Laplacian, the component labels, the whole preconditioner chain, and
+// the workspace pools' high-water scratch — the per-entry cost a serving
+// layer's byte-budgeted cache accounts for.
 func (s *Solver) MemoryBytes() int64 {
 	b := s.G.MemoryBytes() + s.Lap.MemoryBytes() + int64(len(s.Comp))*8
 	if s.CompIdx != nil {
 		b += s.CompIdx.MemoryBytes()
 	}
 	if s.Chain != nil {
-		b += s.Chain.MemoryBytes()
+		b += s.Chain.MemoryBytes() // includes the chain pool's peak
+	}
+	b += s.ws.PeakBytes()
+	return b
+}
+
+// WorkspaceBytes reports the workspace pools' high-water footprint (solver
+// solve pool + the chain's PrecondApply pool) — the scratch a serving layer
+// retains between GCs on top of the chain itself.
+func (s *Solver) WorkspaceBytes() int64 {
+	b := s.ws.PeakBytes()
+	if s.Chain != nil {
+		b += s.Chain.ws.PeakBytes()
 	}
 	return b
 }
@@ -97,10 +116,12 @@ func (s *Solver) SolveOpts(b []float64, eps float64, opt Options) ([]float64, So
 		eps = 1e-8
 	}
 	w := opt.Workers
+	ws := s.ws.get(s.Chain, 1)
 	pre := func(r []float64) []float64 {
-		return s.Chain.PrecondApplyW(w, r)
+		return s.Chain.applyHTop(w, r, ws)
 	}
-	x, st := pcgFlexible(w, s.Lap, b, pre, s.CompIdx, eps, s.MaxIter, s.rec)
+	x, st := pcgFlexible(w, s.Lap, b, pre, s.CompIdx, eps, s.MaxIter, ws, s.rec)
+	s.ws.put(ws)
 	return x, st
 }
 
@@ -130,10 +151,13 @@ func (s *Solver) SolveBatchOpts(bs [][]float64, eps float64, opt Options) ([][]f
 		return [][]float64{x}, []SolveStats{st}
 	}
 	w := opt.Workers
+	ws := s.ws.get(s.Chain, len(bs))
 	pre := func(rs [][]float64) [][]float64 {
-		return s.Chain.PrecondApplyBatchW(w, rs)
+		return s.Chain.applyHTopBatch(w, rs, ws)
 	}
-	return pcgFlexibleBatch(w, s.Lap, bs, pre, s.CompIdx, eps, s.MaxIter, s.rec)
+	xs, sts := pcgFlexibleBatch(w, s.Lap, bs, pre, s.CompIdx, eps, s.MaxIter, ws, s.rec)
+	s.ws.put(ws)
+	return xs, sts
 }
 
 // SolveChebyshev is the paper-faithful solver: top-level preconditioned

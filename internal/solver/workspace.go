@@ -1,0 +1,225 @@
+package solver
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workspace holds every per-solve scratch vector of the chain's apply path
+// and the outer PCG driver: per level the Chebyshev recurrence vectors, the
+// elimination forward/back buffers, at the bottom the dense-solve pair, and
+// (lazily) the outer iteration's vectors. One workspace serves one
+// Solve/SolveBatch/stream-window at a time; a wsPool (sync.Pool) on the
+// Solver and on the Chain reuses them across requests, so steady-state
+// preconditioner applications allocate nothing.
+//
+// Every buffer is fully overwritten before it is read on each use — the
+// chain's kernels either copy into them or write every slot — so a recycled
+// workspace produces bitwise-identical results to a fresh one, preserving
+// the Chain/Solver equivalence contracts. Buffers are column-major over the
+// batch width: the single-RHS path uses column 0.
+type workspace struct {
+	c    *Chain
+	cols int
+
+	lvl []levelWS
+	bot bottomWS
+
+	// charged is the byte footprint recorded by wsPool.get, so put can
+	// reconcile growth that happened while checked out (ensureOuter).
+	charged int64
+
+	// outer PCG scratch, built lazily by ensureOuter (chain-only workspaces
+	// never pay for it).
+	outerN                              int
+	pcgR, pcgAp, pcgPrev, pcgDiff, pcgP [][]float64
+	pcgScal                             []float64
+}
+
+// levelWS is one level's scratch: the Chebyshev recurrence vectors (sized to
+// the level's vertex count), the elimination replay buffers and the
+// back-substitution output (which is also what applyH returns).
+type levelWS struct {
+	chebX, chebR, chebP, chebAp [][]float64 // n_i
+	fwdWork                     [][]float64 // n_i
+	fwdCarry                    [][]float64 // len(Elim.Ops)
+	fwdRed                      [][]float64 // len(Elim.Keep)
+	backX                       [][]float64 // n_i
+	scal                        []float64   // per-column Chebyshev scalars
+}
+
+// bottomWS is the dense bottom solve's scratch: the solution vector and the
+// grounded right-hand side.
+type bottomWS struct {
+	x, g [][]float64
+}
+
+func newCols(k, n int) [][]float64 {
+	out := make([][]float64, k)
+	for c := range out {
+		out[c] = make([]float64, n)
+	}
+	return out
+}
+
+func growCols(buf [][]float64, k, n int) [][]float64 {
+	for len(buf) < k {
+		buf = append(buf, make([]float64, n))
+	}
+	return buf
+}
+
+// newWorkspace builds a workspace for k columns over chain c.
+func newWorkspace(c *Chain, k int) *workspace {
+	ws := &workspace{c: c}
+	ws.lvl = make([]levelWS, len(c.Levels))
+	ws.grow(k)
+	return ws
+}
+
+// grow ensures the workspace covers k columns (existing columns are kept —
+// growing never reallocates a column another caller could hold).
+func (ws *workspace) grow(k int) {
+	if k <= ws.cols {
+		return
+	}
+	c := ws.c
+	for i := range c.Levels {
+		lvl := &c.Levels[i]
+		n := lvl.G.N
+		l := &ws.lvl[i]
+		l.chebX = growCols(l.chebX, k, n)
+		l.chebR = growCols(l.chebR, k, n)
+		l.chebP = growCols(l.chebP, k, n)
+		l.chebAp = growCols(l.chebAp, k, n)
+		l.fwdWork = growCols(l.fwdWork, k, lvl.Elim.OrigN)
+		l.fwdCarry = growCols(l.fwdCarry, k, len(lvl.Elim.Ops))
+		l.fwdRed = growCols(l.fwdRed, k, len(lvl.Elim.Keep))
+		l.backX = growCols(l.backX, k, lvl.Elim.OrigN)
+		for len(l.scal) < k {
+			l.scal = append(l.scal, 0)
+		}
+	}
+	ws.bot.x = growCols(ws.bot.x, k, c.Bottom.N())
+	ws.bot.g = growCols(ws.bot.g, k, c.Bottom.GroundedLen())
+	if ws.outerN > 0 {
+		ws.growOuter(k, ws.outerN)
+	}
+	ws.cols = k
+}
+
+// ensureOuter equips the workspace with the outer PCG scratch for vectors of
+// length n (the solver's top-level system size) and the current column count.
+func (ws *workspace) ensureOuter(n int) {
+	if ws.outerN >= n && len(ws.pcgR) >= ws.cols {
+		return
+	}
+	if n < ws.outerN {
+		n = ws.outerN
+	}
+	ws.growOuter(ws.cols, n)
+	ws.outerN = n
+}
+
+func (ws *workspace) growOuter(k, n int) {
+	ws.pcgR = growCols(ws.pcgR, k, n)
+	ws.pcgAp = growCols(ws.pcgAp, k, n)
+	ws.pcgPrev = growCols(ws.pcgPrev, k, n)
+	ws.pcgDiff = growCols(ws.pcgDiff, k, n)
+	ws.pcgP = growCols(ws.pcgP, k, n)
+	for len(ws.pcgScal) < k {
+		ws.pcgScal = append(ws.pcgScal, 0)
+	}
+}
+
+// bytes estimates the workspace's retained footprint.
+func (ws *workspace) bytes() int64 {
+	var n int64
+	count := func(buf [][]float64) {
+		for _, col := range buf {
+			n += int64(len(col)) * 8
+		}
+	}
+	for i := range ws.lvl {
+		l := &ws.lvl[i]
+		count(l.chebX)
+		count(l.chebR)
+		count(l.chebP)
+		count(l.chebAp)
+		count(l.fwdWork)
+		count(l.fwdCarry)
+		count(l.fwdRed)
+		count(l.backX)
+		n += int64(len(l.scal)) * 8
+	}
+	count(ws.bot.x)
+	count(ws.bot.g)
+	count(ws.pcgR)
+	count(ws.pcgAp)
+	count(ws.pcgPrev)
+	count(ws.pcgDiff)
+	count(ws.pcgP)
+	n += int64(len(ws.pcgScal)) * 8
+	return n
+}
+
+// wsPool reuses workspaces across solve requests via a sync.Pool while
+// tracking an accountable footprint: outstanding is the byte sum of
+// workspaces currently checked out, peak its high-water mark. The pool
+// retains roughly one workspace per concurrent solve between GCs, so peak is
+// the honest estimate a byte-budgeted cache should charge (see
+// Solver.MemoryBytes).
+type wsPool struct {
+	pool        sync.Pool
+	outstanding atomic.Int64
+	peak        atomic.Int64
+}
+
+// get returns a workspace for chain c covering at least k columns.
+func (p *wsPool) get(c *Chain, k int) *workspace {
+	ws, _ := p.pool.Get().(*workspace)
+	if ws == nil {
+		ws = newWorkspace(c, k)
+	} else {
+		ws.grow(k)
+	}
+	ws.charged = ws.bytes()
+	p.raise(p.outstanding.Add(ws.charged))
+	return ws
+}
+
+// put returns a workspace to the pool, reconciling any growth that happened
+// while it was checked out (pcgFlexible's lazy ensureOuter): the workspace
+// is released at its CURRENT footprint, so outstanding never drifts and
+// peak reflects the scratch the pool really retains.
+func (p *wsPool) put(ws *workspace) {
+	b := ws.bytes()
+	if b != ws.charged {
+		p.raise(p.outstanding.Add(b - ws.charged))
+	}
+	p.outstanding.Add(-b)
+	p.pool.Put(ws)
+}
+
+// raise lifts the peak high-water mark to cur if it exceeds it.
+func (p *wsPool) raise(cur int64) {
+	for {
+		old := p.peak.Load()
+		if cur <= old || p.peak.CompareAndSwap(old, cur) {
+			return
+		}
+	}
+}
+
+// seed places a pre-built workspace in the pool, charging its footprint to
+// the high-water estimate: the workspace is retained from the moment the
+// chain is built, and MemoryBytes snapshots taken right after build — the
+// service's cache-budget charge happens exactly then — must already see it.
+func (p *wsPool) seed(ws *workspace) {
+	ws.charged = ws.bytes()
+	p.raise(ws.charged)
+	p.pool.Put(ws)
+}
+
+// PeakBytes reports the pool's high-water footprint estimate.
+func (p *wsPool) PeakBytes() int64 { return p.peak.Load() }
