@@ -18,20 +18,30 @@
 //	GET  /graphs/{id}/stats         chain shape, build time, cache/solve counters
 //	GET  /healthz                   service-wide health and cache statistics
 //
+// With -chain-dir the server persists built chains as content-addressed
+// snapshots (internal/chainio) and restores them on boot and on cache miss,
+// so a restart warm-starts instead of rebuilding; SIGINT/SIGTERM drain
+// in-flight requests and run a final snapshot pass before exit.
+//
 // Example:
 //
-//	sddserver -addr :8080 -max-graphs 32 -max-inflight 8
+//	sddserver -addr :8080 -max-graphs 32 -max-inflight 8 -chain-dir /var/lib/sddserver/chains
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
+	"parlap/internal/chainio"
 	"parlap/internal/service"
 	"parlap/internal/solver"
 )
@@ -54,6 +64,9 @@ var (
 	kappaGrowth   = flag.Float64("kappa-growth", 0, "override the per-level κ growth factor (0 = default 2)")
 	maxLevels     = flag.Int("max-levels", 0, "override the chain length cap (0 = default 8)")
 	chebSlack     = flag.Float64("cheb-slack", 0, "override the static κ·slack safety envelope on the Chebyshev lower bound (0 = default 1.5)")
+	chainDir      = flag.String("chain-dir", "", "directory for persisted chain snapshots; enables restore-on-boot/miss and snapshot-on-shutdown (empty = no persistence)")
+	snapOnBuild   = flag.Bool("snapshot-on-build", true, "with -chain-dir: also persist each chain right after it builds (write-behind), not only at shutdown")
+	drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests and the shutdown snapshot pass")
 )
 
 func main() {
@@ -75,6 +88,15 @@ func main() {
 	if *chebSlack > 0 {
 		chain.ChebSlack = *chebSlack
 	}
+	var store chainio.BlobStore
+	if *chainDir != "" {
+		ds, err := chainio.NewDirStore(*chainDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		store = ds
+	}
 	srv := service.New(service.Config{
 		MaxGraphs:           *maxGraphs,
 		MaxCacheBytes:       *maxCacheBytes,
@@ -89,7 +111,18 @@ func main() {
 		MaxGraphVertices:    *maxVerts,
 		MaxGraphEdges:       *maxEdges,
 		Chain:               &chain,
+		Snapshots:           store,
+		SnapshotOnBuild:     *snapOnBuild,
 	})
+	if store != nil {
+		// Warm start: load every persisted chain before accepting traffic,
+		// so the first solve after a restart is a cache hit, not a rebuild.
+		restored, err := srv.RestoreAll(context.Background())
+		if err != nil {
+			log.Printf("sddserver: snapshot restore: %v", err)
+		}
+		log.Printf("sddserver: restored %d chain(s) from %s", restored, *chainDir)
+	}
 	w := *workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -101,8 +134,29 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := hs.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections, drains
+	// in-flight solves, then runs the shutdown snapshot pass — so a routine
+	// redeploy never truncates a response mid-stream or loses a built chain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	case <-ctx.Done():
 	}
+	stop() // a second signal kills immediately via the default handler
+	log.Printf("sddserver: draining (up to %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("sddserver: drain: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("sddserver: snapshot pass: %v", err)
+	}
+	log.Printf("sddserver: shut down cleanly")
 }

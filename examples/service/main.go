@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -31,6 +32,13 @@ var (
 	eps         = flag.Float64("eps", 1e-6, "relative residual target")
 	maxResidual = flag.Float64("max-residual", 1e-5, "fail if any reported residual exceeds this")
 	waitFor     = flag.Duration("wait", 15*time.Second, "how long to poll /healthz for server start-up")
+	// Warm-restart smoke support: dump the single-solve solutions to a file
+	// in one server lifetime, require bitwise-equal solutions against that
+	// file in the next, and assert the second lifetime actually restored its
+	// chain from a snapshot instead of rebuilding.
+	dumpX       = flag.String("dump-x", "", "write the single-solve solutions to this JSON file")
+	requireX    = flag.String("require-x", "", "fail unless the single-solve solutions are bitwise identical to this JSON file (from -dump-x)")
+	minSnapHits = flag.Int64("min-snapshot-hits", 0, "fail unless /healthz reports at least this many snapshot hits")
 )
 
 func fatalf(format string, args ...any) {
@@ -267,5 +275,59 @@ func main() {
 		fatalf("stats report %d cache hits, want >= 1", stats.CacheHits)
 	}
 	fmt.Printf("stats: cache_hits=%d solves=%d rhs_served=%d\n", stats.CacheHits, stats.Solves, stats.RHSServed)
+
+	// Warm-restart verification: solutions dumped in a previous server
+	// lifetime must match this lifetime's bit for bit (JSON float64
+	// round-trips exactly, so file comparison is bitwise), and the restart
+	// must have been served from the snapshot store, not a rebuild.
+	if *dumpX != "" {
+		data, err := json.Marshal(singles)
+		if err != nil {
+			fatalf("encode -dump-x: %v", err)
+		}
+		if err := os.WriteFile(*dumpX, data, 0o644); err != nil {
+			fatalf("write -dump-x: %v", err)
+		}
+		fmt.Printf("dumped %d solution vectors to %s\n", len(singles), *dumpX)
+	}
+	if *requireX != "" {
+		data, err := os.ReadFile(*requireX)
+		if err != nil {
+			fatalf("read -require-x: %v", err)
+		}
+		var want [][]float64
+		if err := json.Unmarshal(data, &want); err != nil {
+			fatalf("decode -require-x: %v", err)
+		}
+		if len(want) != len(singles) {
+			fatalf("-require-x holds %d vectors, this run solved %d", len(want), len(singles))
+		}
+		for c := range want {
+			if len(want[c]) != len(singles[c]) {
+				fatalf("-require-x vector %d has %d entries, this run %d", c, len(want[c]), len(singles[c]))
+			}
+			for i := range want[c] {
+				if math.Float64bits(want[c][i]) != math.Float64bits(singles[c][i]) {
+					fatalf("solution %d differs from %s at entry %d: %x vs %x — restored chain is not bit-identical",
+						c, *requireX, i, math.Float64bits(singles[c][i]), math.Float64bits(want[c][i]))
+				}
+			}
+		}
+		fmt.Printf("solutions bitwise identical to %s across the restart\n", *requireX)
+	}
+	if *minSnapHits > 0 {
+		var health struct {
+			SnapshotHits   int64 `json:"snapshot_hits"`
+			SnapshotErrors int64 `json:"snapshot_errors"`
+		}
+		if err := getJSON(*addr+"/healthz", &health); err != nil {
+			fatalf("healthz: %v", err)
+		}
+		if health.SnapshotHits < *minSnapHits {
+			fatalf("snapshot_hits=%d, want >= %d — the server rebuilt instead of restoring", health.SnapshotHits, *minSnapHits)
+		}
+		fmt.Printf("snapshot_hits=%d (errors=%d): chain served from the snapshot store\n",
+			health.SnapshotHits, health.SnapshotErrors)
+	}
 	fmt.Println("OK")
 }

@@ -1,0 +1,151 @@
+package chainio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrNotFound reports that a store holds no snapshot for the requested id.
+var ErrNotFound = errors.New("chainio: snapshot not found")
+
+// BlobStore is the storage a serving layer persists snapshots through. Ids
+// are canonical graph hashes ("g" + 32 hex digits); payloads are opaque
+// snapshot blobs. Implementations must make Put atomic with respect to
+// concurrent Gets of the same id (readers see the old blob or the new one,
+// never a torn write) and return ErrNotFound from Get for unknown ids.
+type BlobStore interface {
+	Put(id string, data []byte) error
+	Get(id string) ([]byte, error)
+	List() ([]string, error)
+	Delete(id string) error
+}
+
+// snapshotExt names snapshot files in a DirStore.
+const snapshotExt = ".chain"
+
+// DirStore is a BlobStore over a local directory: one <id>.chain file per
+// snapshot, written via temp-file-and-rename so a crash mid-Put never
+// leaves a torn blob under a valid name.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore creates the directory if needed and returns a store over it.
+func NewDirStore(dir string) (*DirStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("chainio: empty snapshot directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("chainio: creating snapshot directory: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir reports the directory the store persists into.
+func (ds *DirStore) Dir() string { return ds.dir }
+
+func (ds *DirStore) path(id string) (string, error) {
+	if !validID(id) {
+		return "", fmt.Errorf("chainio: invalid snapshot id %q", id)
+	}
+	return filepath.Join(ds.dir, id+snapshotExt), nil
+}
+
+// validID accepts only ids that are safe as file names: non-empty, no path
+// separators or traversal, nothing hidden.
+func validID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (ds *DirStore) Put(id string, data []byte) error {
+	p, err := ds.path(id)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(ds.dir, "."+id+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("chainio: staging snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("chainio: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("chainio: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("chainio: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("chainio: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+func (ds *DirStore) Get(id string) ([]byte, error) {
+	p, err := ds.path(id)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("chainio: reading snapshot: %w", err)
+	}
+	return data, nil
+}
+
+func (ds *DirStore) List() ([]string, error) {
+	entries, err := os.ReadDir(ds.dir)
+	if err != nil {
+		return nil, fmt.Errorf("chainio: listing snapshots: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapshotExt) || strings.HasPrefix(name, ".") {
+			continue
+		}
+		id := strings.TrimSuffix(name, snapshotExt)
+		if validID(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+func (ds *DirStore) Delete(id string) error {
+	p, err := ds.path(id)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return fmt.Errorf("chainio: deleting snapshot: %w", err)
+	}
+	return nil
+}

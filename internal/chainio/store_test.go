@@ -1,0 +1,84 @@
+package chainio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	ds, err := NewDirStore(filepath.Join(t.TempDir(), "chains"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "g0123456789abcdef0123456789abcdef"
+	if _, err := ds.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on empty store: got %v, want ErrNotFound", err)
+	}
+	blob := []byte("payload-v1")
+	if err := ds.Put(id, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Get(id)
+	if err != nil || string(got) != string(blob) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Put overwrites atomically.
+	if err := ds.Put(id, []byte("payload-v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = ds.Get(id)
+	if string(got) != "payload-v2" {
+		t.Fatalf("after overwrite Get = %q", got)
+	}
+	ids, err := ds.List()
+	if err != nil || len(ids) != 1 || ids[0] != id {
+		t.Fatalf("List = %v, %v", ids, err)
+	}
+	if err := ds.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Delete(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Delete: got %v, want ErrNotFound", err)
+	}
+	ids, _ = ds.List()
+	if len(ids) != 0 {
+		t.Fatalf("List after delete = %v", ids)
+	}
+}
+
+func TestDirStoreRejectsUnsafeIDs(t *testing.T) {
+	ds, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", ".", "..", "../escape", "a/b", "a\\b", ".hidden", "sp ace"} {
+		if err := ds.Put(id, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted", id)
+		}
+		if _, err := ds.Get(id); err == nil {
+			t.Fatalf("Get(%q) accepted", id)
+		}
+	}
+}
+
+func TestDirStoreListSkipsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("gabc", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Leftover temp files, unrelated files, and subdirectories are not
+	// snapshots.
+	os.WriteFile(filepath.Join(dir, ".gdef.chain.tmp-1"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644)
+	os.Mkdir(filepath.Join(dir, "sub.chain"), 0o755)
+	ids, err := ds.List()
+	if err != nil || len(ids) != 1 || ids[0] != "gabc" {
+		t.Fatalf("List = %v, %v; want [gabc]", ids, err)
+	}
+}

@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+)
+
+// CanonicalID returns the canonical content address of g: a SHA-256 over the
+// vertex count and the (u ≤ v)-normalized, sorted edge multiset with exact
+// float64 weight bits, truncated to 128 bits (collision-infeasible; 64 bits
+// would be birthday-searchable). Two graphs hash equal iff they describe the
+// same weighted multigraph up to edge order and endpoint orientation, which
+// makes the id a safe key for caches AND for persisted chain snapshots: a
+// snapshot addressed by this id can only ever be replayed against the graph
+// it was built from.
+func CanonicalID(g *Graph) string {
+	type key struct {
+		u, v int
+		w    float64
+	}
+	ks := make([]key, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		ks = append(ks, key{u, v, e.W})
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].u != ks[j].u {
+			return ks[i].u < ks[j].u
+		}
+		if ks[i].v != ks[j].v {
+			return ks[i].v < ks[j].v
+		}
+		return math.Float64bits(ks[i].w) < math.Float64bits(ks[j].w)
+	})
+	h := sha256.New()
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(g.N))
+	h.Write(buf[:8])
+	for _, k := range ks {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(k.u))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(k.v))
+		binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(k.w))
+		h.Write(buf[:])
+	}
+	return "g" + hex.EncodeToString(h.Sum(nil))[:32]
+}

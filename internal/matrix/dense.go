@@ -73,6 +73,27 @@ func NewDenseFactorW(workers, n int, a []float64) (*DenseFactor, error) {
 	return &DenseFactor{n: n, l: l, d: d}, nil
 }
 
+// Dim returns the factored system size.
+func (f *DenseFactor) Dim() int { return f.n }
+
+// Parts exposes the factor's packed unit lower triangle and diagonal for
+// snapshot serialization. The returned slices are the factor's own backing
+// arrays — callers must treat them as read-only.
+func (f *DenseFactor) Parts() (l, d []float64) { return f.l, f.d }
+
+// NewDenseFactorFromParts reassembles a DenseFactor from snapshot data: the
+// packed row-major unit lower triangle l (n×n, upper entries ignored) and
+// the diagonal d (length n), exactly as returned by Parts. The slices are
+// retained, not copied. Used by the chain snapshot restore path; solving
+// with a reassembled factor is bit-for-bit the original's arithmetic because
+// the substitution sweeps read only these arrays.
+func NewDenseFactorFromParts(n int, l, d []float64) (*DenseFactor, error) {
+	if n < 0 || len(l) != n*n || len(d) != n {
+		return nil, fmt.Errorf("matrix: dense factor parts want %d+%d entries, got %d+%d", n*n, n, len(l), len(d))
+	}
+	return &DenseFactor{n: n, l: l, d: d}, nil
+}
+
 // Solve solves A x = b given the factorization, overwriting nothing;
 // it returns a fresh solution vector.
 func (f *DenseFactor) Solve(b []float64) []float64 {
@@ -246,6 +267,53 @@ func NewLaplacianFactorW(workers int, a *Sparse, comp []int, numComp int) (*Lapl
 	f, err := NewDenseFactorW(workers, k, dense)
 	if err != nil {
 		return nil, err
+	}
+	return &LaplacianFactor{
+		n: n, factor: f, keep: keep, pos: pos,
+		comp: comp, numComp: numComp,
+		compIdx:  NewCompIndexW(workers, comp, numComp),
+		grounded: grounded,
+	}, nil
+}
+
+// Factor exposes the grounded dense factor for snapshot serialization.
+func (lf *LaplacianFactor) Factor() *DenseFactor { return lf.factor }
+
+// NewLaplacianFactorFromFactor reassembles a LaplacianFactor from snapshot
+// data: the component labeling of the n-vertex bottom graph and its grounded
+// DenseFactor. The grounding bookkeeping (one grounded vertex per component,
+// keep/pos maps, component index) is recomputed by the same deterministic
+// sweep NewLaplacianFactorW runs, so a restored factor solves bit-for-bit
+// like the original; only the O(k³) factorization itself is skipped.
+func NewLaplacianFactorFromFactor(workers, n int, comp []int, numComp int, f *DenseFactor) (*LaplacianFactor, error) {
+	if len(comp) != n {
+		return nil, fmt.Errorf("matrix: component labels cover %d vertices, graph has %d", len(comp), n)
+	}
+	grounded := make([]int, numComp)
+	for c := range grounded {
+		grounded[c] = -1
+	}
+	for v := n - 1; v >= 0; v-- {
+		c := comp[v]
+		if c < 0 || c >= numComp {
+			return nil, fmt.Errorf("matrix: component label %d out of range [0,%d)", c, numComp)
+		}
+		if grounded[c] < 0 {
+			grounded[c] = v
+		}
+	}
+	pos := make([]int, n)
+	var keep []int
+	for v := 0; v < n; v++ {
+		if grounded[comp[v]] == v {
+			pos[v] = -1
+			continue
+		}
+		pos[v] = len(keep)
+		keep = append(keep, v)
+	}
+	if f.Dim() != len(keep) {
+		return nil, fmt.Errorf("matrix: dense factor dimension %d, grounded system has %d vertices", f.Dim(), len(keep))
 	}
 	return &LaplacianFactor{
 		n: n, factor: f, keep: keep, pos: pos,

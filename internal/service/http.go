@@ -175,10 +175,12 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	// e.levels, not e.solver.Chain.Depth(): the entry may already have been
+	// evicted and its solver reclaimed by the time the response is written.
 	writeJSON(w, http.StatusOK, RegisterResponse{
 		ID: e.id, N: e.n, M: e.m, Cached: cached,
 		BuildMS: float64(e.buildDur.Microseconds()) / 1000,
-		Levels:  e.solver.Chain.Depth(),
+		Levels:  e.levels,
 	})
 }
 

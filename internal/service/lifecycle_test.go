@@ -1,0 +1,182 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"parlap/internal/gen"
+	"parlap/internal/solver"
+)
+
+// Lifecycle regression tests: eviction vs in-flight solves (an evicted
+// entry's solver must stay alive until its last reference drops) and exact
+// cache-byte accounting under churn (the charge must track pooled-workspace
+// growth, and eviction must release exactly what was charged).
+
+func TestEvictDuringSolveKeepsSolverAlive(t *testing.T) {
+	ctx := context.Background()
+	s := New(Config{MaxGraphs: 1, Workers: 2})
+	g1 := gen.Grid2D(8, 8)
+	id1 := GraphID(g1)
+	if _, _, err := s.Register(ctx, g1, "t"); err != nil {
+		t.Fatal(err)
+	}
+	bs := [][]float64{meanFreeRHS(g1.N, 7)}
+	xRef, _, err := s.Solve(ctx, id1, bs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the entry the way an executing solve does, then evict it by
+	// registering a second graph into the 1-entry cache.
+	e, ok := s.lookupRef(id1)
+	if !ok {
+		t.Fatal("entry vanished before eviction")
+	}
+	g2 := gen.Grid2D(9, 9)
+	if _, _, err := s.Register(ctx, g2, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.lookupRef(id1); ok {
+		t.Fatal("evicted entry still served lookups")
+	}
+	s.mu.Lock()
+	evicted, sv := e.evicted, e.solver
+	s.mu.Unlock()
+	if !evicted {
+		t.Fatal("entry not marked evicted")
+	}
+	if sv == nil {
+		t.Fatal("solver reclaimed while a reference was held")
+	}
+
+	// The pinned solver must still solve, bit-identically to before the
+	// eviction — its chain and pooled workspaces were not yanked away.
+	xs, _ := sv.SolveBatchOpts(bs, s.cfg.DefaultEps, solver.Options{Workers: 1})
+	for i := range xRef[0] {
+		if math.Float64bits(xs[0][i]) != math.Float64bits(xRef[0][i]) {
+			t.Fatalf("post-eviction solve differs at entry %d", i)
+		}
+	}
+
+	// Dropping the last reference reclaims.
+	s.release(e)
+	s.mu.Lock()
+	sv = e.solver
+	s.mu.Unlock()
+	if sv != nil {
+		t.Fatal("solver not reclaimed after last release")
+	}
+}
+
+// TestEvictDuringConcurrentSolves races real Solve calls against evictions;
+// under -race this is the detector for reclaim-under-solve. Every call must
+// either succeed or report NotFound — never panic or return garbage.
+func TestEvictDuringConcurrentSolves(t *testing.T) {
+	ctx := context.Background()
+	s := New(Config{MaxGraphs: 1, MaxInflight: 4, Workers: 4})
+	g1 := gen.Grid2D(8, 8)
+	g2 := gen.Grid2D(5, 13)
+	id1 := GraphID(g1)
+	if _, _, err := s.Register(ctx, g1, "t"); err != nil {
+		t.Fatal(err)
+	}
+	bs := [][]float64{meanFreeRHS(g1.N, 3)}
+	xRef, _, err := s.Solve(ctx, id1, bs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				xs, _, err := s.Solve(ctx, id1, bs, 0)
+				if err != nil {
+					var nf *NotFoundError
+					if !errors.As(err, &nf) {
+						t.Errorf("solve: %v", err)
+					}
+					return // evicted mid-run; acceptable
+				}
+				for j := range xRef[0] {
+					if math.Float64bits(xs[0][j]) != math.Float64bits(xRef[0][j]) {
+						t.Errorf("racing solve differs at entry %d", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Churn the cache underneath the solvers: each registration evicts the
+	// other graph.
+	for i := 0; i < 4; i++ {
+		if _, _, err := s.Register(ctx, g2, "t"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Register(ctx, g1, "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.Register(ctx, g2, "t"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestCacheBytesExactUnderChurn locks the accounting invariant: cacheBytes
+// always equals the sum of the cached entries' current charges, the charge
+// tracks pooled-workspace growth from solves, and eviction releases exactly
+// what was charged — no residue accumulating across churn (the drift bug),
+// and never above the configured budget once trims settle.
+func TestCacheBytesExactUnderChurn(t *testing.T) {
+	ctx := context.Background()
+	s := New(Config{MaxGraphs: 2, Workers: 2})
+	graphs := []*struct {
+		spec string
+		n    [2]int
+	}{
+		{"a", [2]int{8, 8}}, {"b", [2]int{9, 7}}, {"c", [2]int{6, 11}}, {"d", [2]int{10, 6}},
+	}
+	check := func(when string) {
+		s.mu.Lock()
+		var sum int64
+		for _, e := range s.entries {
+			sum += e.bytes
+			if e.solver != nil && e.bytes != e.solver.MemoryBytes() {
+				t.Errorf("%s: entry %s charged %d, footprint %d (recharge drifted)",
+					when, e.id, e.bytes, e.solver.MemoryBytes())
+			}
+		}
+		if s.cacheBytes != sum {
+			t.Errorf("%s: cacheBytes %d != Σ entry charges %d", when, s.cacheBytes, sum)
+		}
+		s.mu.Unlock()
+		if h := s.Health(); h.CacheBytes > h.MaxCacheBytes {
+			t.Errorf("%s: cache_bytes %d > max_cache_bytes %d", when, h.CacheBytes, h.MaxCacheBytes)
+		}
+	}
+	for round := 0; round < 2; round++ {
+		for _, spec := range graphs {
+			g := gen.Grid2D(spec.n[0], spec.n[1])
+			if _, _, err := s.Register(ctx, g, spec.spec); err != nil {
+				t.Fatal(err)
+			}
+			check("after register " + spec.spec)
+			// Batch solves grow the pooled workspaces past their build-time
+			// high-water mark; recharge must fold that into the accounting.
+			bs := [][]float64{meanFreeRHS(g.N, 1), meanFreeRHS(g.N, 2), meanFreeRHS(g.N, 3)}
+			if _, _, err := s.Solve(ctx, GraphID(g), bs, 0); err != nil {
+				t.Fatal(err)
+			}
+			check("after solve " + spec.spec)
+		}
+	}
+	if got := s.Health().Evictions; got < int64(len(graphs)) {
+		t.Fatalf("churn produced only %d evictions", got)
+	}
+}

@@ -12,19 +12,15 @@ package service
 import (
 	"container/list"
 	"context"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"errors"
 	"fmt"
-	"math"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"parlap/internal/chainio"
 	"parlap/internal/graph"
 	"parlap/internal/solver"
 )
@@ -81,6 +77,17 @@ type Config struct {
 	// Chain are the preconditioner-chain construction parameters; the zero
 	// value means solver.DefaultChainParams().
 	Chain *solver.ChainParams
+	// Snapshots, when non-nil, persists built chains as content-addressed
+	// snapshot blobs (see internal/chainio): a registration whose chain is
+	// missing from the cache first tries to restore it from the store —
+	// bit-identical to a fresh build at a fraction of the cost — and falls
+	// back to building on any miss or corruption. RestoreAll / SnapshotAll
+	// bulk-load and bulk-persist the cache around process restarts.
+	Snapshots chainio.BlobStore
+	// SnapshotOnBuild writes a snapshot (write-behind, off the registration's
+	// critical path) after every successful fresh build. Without it only
+	// SnapshotAll — the shutdown pass — persists chains.
+	SnapshotOnBuild bool
 }
 
 // Server owns the graph registry. All methods are safe for concurrent use.
@@ -101,12 +108,21 @@ type Server struct {
 	registers atomic.Int64 // POST /graphs requests accepted
 	cacheHits atomic.Int64 // registrations answered from cache
 	evictions atomic.Int64
+
+	snapWG     sync.WaitGroup // in-flight write-behind snapshot writes
+	snapHits   atomic.Int64   // chains restored from the snapshot store
+	snapMisses atomic.Int64   // restore attempts that found no usable blob
+	snapWrites atomic.Int64   // snapshot blobs written
+	snapErrors atomic.Int64   // snapshot encode/decode/IO failures (all fell back safely)
 }
 
 // entry is one cached graph + its built solver. The build runs exactly once
 // (the first registrar builds; concurrent registrars of the same hash wait
 // on built), and the solver is read-only afterwards, so solves need no
-// entry-level locking.
+// entry-level locking — only lifecycle does: an eviction may not reclaim
+// the solver (and its pooled workspaces) while a solve or streaming window
+// is executing against it, so users of e.solver pin the entry through
+// lookupRef/release and reclamation waits for the last reference.
 type entry struct {
 	id     string
 	source string
@@ -117,7 +133,11 @@ type entry struct {
 	solver   *solver.Solver
 	buildErr error
 	buildDur time.Duration
-	bytes    int64 // estimated retained footprint (set once, after build)
+	levels   int  // chain depth (set once, after build; survives reclaim)
+	restored bool // chain came from a snapshot, not a fresh build
+	bytes    int64 // footprint currently charged against cacheBytes (Server.mu)
+	refs     int   // active solves/streams/stat reads (Server.mu)
+	evicted  bool  // dropped from the cache; reclaim when refs hits 0 (Server.mu)
 
 	hits       atomic.Int64 // re-registrations served from cache
 	solves     atomic.Int64 // solve requests served
@@ -195,47 +215,12 @@ func (s *Server) workersForOccupancy(inflight int64) int {
 	return w
 }
 
-// GraphID returns the canonical cache key of g: a SHA-256 over the vertex
-// count and the (u ≤ v)-normalized, sorted edge multiset with exact float64
-// weight bits, truncated to 128 bits (collision-infeasible; 64 bits would
-// be birthday-searchable). Two registrations hash equal iff they describe
-// the same weighted multigraph (up to edge order and endpoint orientation),
-// so a graph's chain is built exactly once no matter how many clients
-// register it or in what form.
-func GraphID(g *graph.Graph) string {
-	type key struct {
-		u, v int
-		w    float64
-	}
-	ks := make([]key, 0, len(g.Edges))
-	for _, e := range g.Edges {
-		u, v := e.U, e.V
-		if u > v {
-			u, v = v, u
-		}
-		ks = append(ks, key{u, v, e.W})
-	}
-	sort.Slice(ks, func(i, j int) bool {
-		if ks[i].u != ks[j].u {
-			return ks[i].u < ks[j].u
-		}
-		if ks[i].v != ks[j].v {
-			return ks[i].v < ks[j].v
-		}
-		return math.Float64bits(ks[i].w) < math.Float64bits(ks[j].w)
-	})
-	h := sha256.New()
-	var buf [24]byte
-	binary.LittleEndian.PutUint64(buf[:8], uint64(g.N))
-	h.Write(buf[:8])
-	for _, k := range ks {
-		binary.LittleEndian.PutUint64(buf[0:8], uint64(k.u))
-		binary.LittleEndian.PutUint64(buf[8:16], uint64(k.v))
-		binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(k.w))
-		h.Write(buf[:])
-	}
-	return "g" + hex.EncodeToString(h.Sum(nil))[:32]
-}
+// GraphID returns the canonical cache key of g — graph.CanonicalID, the
+// same content address persisted chain snapshots are stored under. Two
+// registrations hash equal iff they describe the same weighted multigraph
+// (up to edge order and endpoint orientation), so a graph's chain is built
+// exactly once no matter how many clients register it or in what form.
+func GraphID(g *graph.Graph) string { return graph.CanonicalID(g) }
 
 // TooLargeError rejects oversized registration payloads.
 type TooLargeError struct{ msg string }
@@ -308,10 +293,18 @@ func (s *Server) Register(ctx context.Context, g *graph.Graph, source string) (e
 		return nil, false, e.buildErr
 	}
 	t0 := time.Now()
-	sv, err := solver.NewWithOptions(g, s.chain, solver.Options{Workers: s.cfg.Workers}, nil)
+	// Restore-on-miss: a persisted snapshot of this exact graph (same
+	// content address) reassembles into a chain that solves bit-identically
+	// to the one a fresh build would produce, at a fraction of the cost.
+	// Any failure — missing blob, corruption, version skew — falls back to
+	// building; a snapshot store can make the server faster, never wronger.
+	sv, restored := s.tryRestore(id)
+	if sv == nil {
+		sv, err = solver.NewWithOptions(g, s.chain, solver.Options{Workers: s.cfg.Workers}, nil)
+	}
 	<-s.buildSem
 	e.buildDur = time.Since(t0)
-	e.solver, e.buildErr = sv, err
+	e.solver, e.buildErr, e.restored = sv, err, restored
 	if err != nil {
 		// A failed build must not poison the cache key.
 		s.removeFailed(e)
@@ -319,10 +312,22 @@ func (s *Server) Register(ctx context.Context, g *graph.Graph, source string) (e
 	if err == nil {
 		// Charge the entry's footprint before publishing it, so eviction
 		// never sees a finished entry with unaccounted bytes.
+		e.levels = sv.Chain.Depth()
 		e.bytes = sv.MemoryBytes()
 		s.mu.Lock()
 		s.cacheBytes += e.bytes
 		s.mu.Unlock()
+		if !restored && s.cfg.SnapshotOnBuild && s.cfg.Snapshots != nil {
+			// Write-behind: persisting the freshly built chain must not hold
+			// up the registration (or the waiters on e.built). The goroutine
+			// captures sv directly — the solver is read-only and outlives any
+			// later eviction of the entry.
+			s.snapWG.Add(1)
+			go func() {
+				defer s.snapWG.Done()
+				s.snapshotOne(id, sv)
+			}()
+		}
 	}
 	close(e.built)
 	if err == nil {
@@ -378,19 +383,64 @@ func (s *Server) evictLocked(exempt *entry) {
 		delete(s.entries, victim.id)
 		s.lru.Remove(victim.elem)
 		s.cacheBytes -= victim.bytes
+		victim.evicted = true
+		if victim.refs == 0 {
+			// No active solve/stream/stat read: drop the solver (and its
+			// pooled workspaces) now. Otherwise the last release reclaims —
+			// evicting out from under an executing solve must never yank its
+			// chain or scratch pools away.
+			victim.solver = nil
+		}
 		s.evictions.Add(1)
 	}
 }
 
-// lookup returns the entry for id, refreshing its LRU position.
-func (s *Server) lookup(id string) (*entry, bool) {
+// lookupRef returns the entry for id with a reference held, refreshing its
+// LRU position. The reference pins e.solver against reclaim-on-eviction;
+// every caller must pair it with release.
+func (s *Server) lookupRef(id string) (*entry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[id]
 	if ok {
 		s.lru.MoveToFront(e.elem)
+		e.refs++
 	}
 	return e, ok
+}
+
+// release drops a lookupRef reference, reclaiming the solver if the entry
+// was evicted while the reference was held.
+func (s *Server) release(e *entry) {
+	s.mu.Lock()
+	e.refs--
+	if e.evicted && e.refs == 0 {
+		e.solver = nil
+	}
+	s.mu.Unlock()
+}
+
+// recharge re-reads the entry's retained-footprint estimate after a solve
+// and folds the delta into the cache accounting. Solves grow the pooled
+// per-solve workspaces (a high-water charge inside Solver.MemoryBytes), so
+// without this the byte budget drifts: growth was charged at build time
+// only, and eviction released only the stale build-time figure — a server
+// could hold MaxCacheBytes of accounted chains plus unbounded unaccounted
+// pool growth. Keeping e.bytes equal to the charge makes eviction's
+// release exact, and re-trimming here keeps cache_bytes within budget even
+// when the growth itself causes the overshoot.
+func (s *Server) recharge(e *entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.evicted || e.solver == nil {
+		return
+	}
+	nb := e.solver.MemoryBytes()
+	if nb != e.bytes {
+		s.cacheBytes += nb - e.bytes
+		e.bytes = nb
+		s.evictLocked(nil)
+	}
 }
 
 // Solve runs the k right-hand sides bs against graph id under admission
@@ -402,10 +452,11 @@ func (s *Server) lookup(id string) (*entry, bool) {
 // len(bs) == 1 takes the single-RHS path; larger batches share one
 // preconditioner-chain pass per iteration across all columns.
 func (s *Server) Solve(ctx context.Context, id string, bs [][]float64, eps float64) ([][]float64, []solver.SolveStats, error) {
-	e, ok := s.lookup(id)
+	e, ok := s.lookupRef(id)
 	if !ok {
 		return nil, nil, &NotFoundError{ID: id}
 	}
+	defer s.release(e)
 	select {
 	case <-e.built:
 	case <-ctx.Done():
@@ -443,6 +494,7 @@ func (s *Server) Solve(ctx context.Context, id string, bs [][]float64, eps float
 	for _, st := range sts {
 		e.iterations.Add(int64(st.Iterations))
 	}
+	s.recharge(e)
 	return xs, sts, nil
 }
 
@@ -460,7 +512,11 @@ type GraphStats struct {
 	N       int     `json:"n"`
 	M       int     `json:"m"`
 	BuildMS float64 `json:"build_ms"`
-	Bytes   int64   `json:"bytes"` // estimated retained chain footprint
+	// Restored reports the chain was reassembled from a persisted snapshot
+	// (bit-identical to a fresh build) rather than built; BuildMS is then
+	// the restore time.
+	Restored bool  `json:"restored_from_snapshot"`
+	Bytes    int64 `json:"bytes"` // estimated retained chain footprint
 	// WorkspaceBytes is the live high-water estimate of pooled per-solve
 	// scratch this chain retains between GCs. (Bytes, charged against the
 	// cache budget, snapshots Solver.MemoryBytes at build time — before any
@@ -484,10 +540,11 @@ type GraphStats struct {
 // Stats returns the stats document for graph id. ctx bounds the wait on an
 // in-flight build of that graph.
 func (s *Server) Stats(ctx context.Context, id string) (*GraphStats, error) {
-	e, ok := s.lookup(id)
+	e, ok := s.lookupRef(id)
 	if !ok {
 		return nil, &NotFoundError{ID: id}
 	}
+	defer s.release(e)
 	select {
 	case <-e.built:
 	case <-ctx.Done():
@@ -499,6 +556,7 @@ func (s *Server) Stats(ctx context.Context, id string) (*GraphStats, error) {
 	st := &GraphStats{
 		ID: e.id, Source: e.source, N: e.n, M: e.m,
 		BuildMS:        float64(e.buildDur.Microseconds()) / 1000,
+		Restored:       e.restored,
 		Bytes:          e.bytes,
 		WorkspaceBytes: e.solver.WorkspaceBytes(),
 		Levels:         e.solver.Chain.Depth(),
@@ -527,7 +585,17 @@ type ServerStats struct {
 	Registers     int64 `json:"registers"`
 	CacheHits     int64 `json:"cache_hits"`
 	Evictions     int64 `json:"evictions"`
-	Inflight      int64 `json:"inflight"`
+	// Snapshot counters (all zero when no snapshot store is configured):
+	// hits are chains restored instead of rebuilt (boot-time RestoreAll and
+	// registration-time restore-on-miss both count), misses are restore
+	// attempts that fell back to a build, writes are blobs persisted, and
+	// errors are encode/decode/IO failures — every one of which degraded to
+	// a fresh build or a skipped write, never an outage.
+	SnapshotHits   int64 `json:"snapshot_hits"`
+	SnapshotMisses int64 `json:"snapshot_misses"`
+	SnapshotWrites int64 `json:"snapshot_writes"`
+	SnapshotErrors int64 `json:"snapshot_errors"`
+	Inflight       int64 `json:"inflight"`
 	MaxInflight   int   `json:"max_inflight"`
 	// MaxInflightPerGraph is the per-graph solve-slot cap applied while
 	// other graphs are waiting (the admission sharding).
@@ -549,7 +617,12 @@ func (s *Server) Health() *ServerStats {
 		Status: "ok", Graphs: n, MaxGraphs: s.cfg.MaxGraphs,
 		CacheBytes: bytes, MaxCacheBytes: s.cfg.MaxCacheBytes,
 		Registers: s.registers.Load(), CacheHits: s.cacheHits.Load(),
-		Evictions: s.evictions.Load(), Inflight: s.inflight.Load(),
+		Evictions:      s.evictions.Load(),
+		SnapshotHits:   s.snapHits.Load(),
+		SnapshotMisses: s.snapMisses.Load(),
+		SnapshotWrites: s.snapWrites.Load(),
+		SnapshotErrors: s.snapErrors.Load(),
+		Inflight:       s.inflight.Load(),
 		MaxInflight:         s.cfg.MaxInflight,
 		MaxInflightPerGraph: s.cfg.MaxInflightPerGraph,
 		Workers:             s.cfg.Workers,

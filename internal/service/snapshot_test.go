@@ -1,0 +1,218 @@
+package service
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"parlap/internal/chainio"
+	"parlap/internal/gen"
+)
+
+// Service-level chain persistence tests: warm restarts restore instead of
+// rebuild and solve bit-identically; corrupt snapshots degrade to a fresh
+// build, never an outage.
+
+func snapshotStore(t *testing.T) *chainio.DirStore {
+	t.Helper()
+	ds, err := chainio.NewDirStore(filepath.Join(t.TempDir(), "chains"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestWarmRestartRestoresBitwise(t *testing.T) {
+	ctx := context.Background()
+	ds := snapshotStore(t)
+	cfg := Config{Workers: 2, Snapshots: ds, SnapshotOnBuild: true}
+
+	// First process lifetime: build, solve, shut down.
+	s1 := New(cfg)
+	g := gen.Grid2D(10, 10)
+	id := GraphID(g)
+	if _, cached, err := s1.Register(ctx, g, "t"); err != nil || cached {
+		t.Fatalf("register: cached=%v err=%v", cached, err)
+	}
+	bs := [][]float64{meanFreeRHS(g.N, 5), meanFreeRHS(g.N, 6)}
+	xRef, _, err := s1.Solve(ctx, id, bs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown snapshot pass: %v", err)
+	}
+	ids, err := ds.List()
+	if err != nil || len(ids) != 1 || ids[0] != id {
+		t.Fatalf("store holds %v, %v; want [%s]", ids, err, id)
+	}
+
+	// Second process lifetime: restore on boot, hit the cache, solve the
+	// same right-hand sides bit-identically.
+	s2 := New(cfg)
+	restored, err := s2.RestoreAll(ctx)
+	if err != nil || restored != 1 {
+		t.Fatalf("RestoreAll = %d, %v; want 1, nil", restored, err)
+	}
+	if _, cached, err := s2.Register(ctx, g, "t"); err != nil || !cached {
+		t.Fatalf("post-restore register: cached=%v err=%v; want cache hit", cached, err)
+	}
+	xs, _, err := s2.Solve(ctx, id, bs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range xRef {
+		for i := range xRef[c] {
+			if math.Float64bits(xs[c][i]) != math.Float64bits(xRef[c][i]) {
+				t.Fatalf("restored solve differs at col %d entry %d", c, i)
+			}
+		}
+	}
+	if h := s2.Health(); h.SnapshotHits < 1 {
+		t.Fatalf("snapshot_hits = %d after a boot restore", h.SnapshotHits)
+	}
+	st, err := s2.Stats(ctx, id)
+	if err != nil || !st.Restored {
+		t.Fatalf("stats restored_from_snapshot=%v err=%v", st != nil && st.Restored, err)
+	}
+}
+
+func TestRegisterRestoresOnMiss(t *testing.T) {
+	ctx := context.Background()
+	ds := snapshotStore(t)
+	cfg := Config{Workers: 2, Snapshots: ds, SnapshotOnBuild: true}
+	g := gen.Grid2D(7, 9)
+	id := GraphID(g)
+
+	s1 := New(cfg)
+	if _, _, err := s1.Register(ctx, g, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// No RestoreAll: the registration itself finds the snapshot.
+	s2 := New(cfg)
+	e, cached, err := s2.Register(ctx, g, "t")
+	if err != nil || cached {
+		t.Fatalf("register: cached=%v err=%v", cached, err)
+	}
+	if !e.restored {
+		t.Fatal("registration built fresh despite a usable snapshot")
+	}
+	h := s2.Health()
+	if h.SnapshotHits != 1 || h.SnapshotErrors != 0 {
+		t.Fatalf("hits=%d errors=%d; want 1, 0", h.SnapshotHits, h.SnapshotErrors)
+	}
+	if _, _, err := s2.Solve(ctx, id, [][]float64{meanFreeRHS(g.N, 1)}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptSnapshotFallsBackToBuild(t *testing.T) {
+	ctx := context.Background()
+	ds := snapshotStore(t)
+	cfg := Config{Workers: 2, Snapshots: ds, SnapshotOnBuild: true}
+	g := gen.Grid2D(6, 8)
+	id := GraphID(g)
+
+	s1 := New(cfg)
+	if _, _, err := s1.Register(ctx, g, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the persisted blob in place (truncate + flip a byte).
+	data, err := ds.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := data[:len(data)-7]
+	mut[len(mut)/2] ^= 0x10
+	if err := ds.Put(id, mut); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot restore skips the corrupt blob without dying.
+	s2 := New(cfg)
+	restored, err := s2.RestoreAll(ctx)
+	if restored != 0 || err == nil {
+		t.Fatalf("RestoreAll = %d, %v; want 0 and a reported skip", restored, err)
+	}
+	// Registration falls back to a fresh build and re-persists.
+	e, cached, err := s2.Register(ctx, g, "t")
+	if err != nil || cached {
+		t.Fatalf("register after corrupt snapshot: cached=%v err=%v", cached, err)
+	}
+	if e.restored {
+		t.Fatal("corrupt snapshot claimed to restore")
+	}
+	h := s2.Health()
+	if h.SnapshotErrors < 1 || h.SnapshotMisses < 1 {
+		t.Fatalf("errors=%d misses=%d; want both >= 1", h.SnapshotErrors, h.SnapshotMisses)
+	}
+	if _, _, err := s2.Solve(ctx, id, [][]float64{meanFreeRHS(g.N, 2)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	s2.snapWG.Wait() // write-behind of the fresh build
+	fixed, err := ds.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID, err := chainio.SnapshotID(fixed); err != nil || gotID != id {
+		t.Fatalf("re-persisted blob id = %q, %v", gotID, err)
+	}
+	if len(fixed) == len(mut) {
+		t.Fatal("store still holds the corrupt blob")
+	}
+}
+
+func TestWrongKeySnapshotRejected(t *testing.T) {
+	// A blob filed under the wrong content address (copied/renamed) must not
+	// restore as that graph.
+	ctx := context.Background()
+	ds := snapshotStore(t)
+	cfg := Config{Workers: 1, Snapshots: ds, SnapshotOnBuild: true}
+	gA, gB := gen.Grid2D(5, 5), gen.Grid2D(4, 7)
+	idA, idB := GraphID(gA), GraphID(gB)
+
+	s1 := New(cfg)
+	if _, _, err := s1.Register(ctx, gA, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	blobA, err := ds.Get(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put(idB, blobA); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Delete(idA); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(cfg)
+	e, _, err := s2.Register(ctx, gB, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.snapWG.Wait() // the fallback build's write-behind must not outlive the test dir
+	if e.restored {
+		t.Fatal("wrong-key snapshot restored as a different graph")
+	}
+	if h := s2.Health(); h.SnapshotErrors < 1 {
+		t.Fatalf("snapshot_errors = %d; want >= 1", h.SnapshotErrors)
+	}
+	// The solve must be gB's, not gA's: dimensions differ, so a successful
+	// solve of a gB-sized RHS proves the fallback built the right chain.
+	if _, _, err := s2.Solve(ctx, idB, [][]float64{meanFreeRHS(gB.N, 3)}, 0); err != nil {
+		t.Fatal(err)
+	}
+}

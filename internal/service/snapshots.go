@@ -1,0 +1,183 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"parlap/internal/chainio"
+	"parlap/internal/solver"
+)
+
+// Chain persistence: the serving layer's half of internal/chainio. Built
+// chains are the server's only expensive state — everything else (HTTP,
+// admission, the cache index) is cheap to rebuild — so persisting them is
+// what turns a process restart from a rebuild stampede into a warm start.
+// Three paths feed the store: write-behind after a fresh build (Register),
+// the bulk shutdown pass (SnapshotAll, via Shutdown), and three paths drain
+// it: restore-on-miss inside Register, the bulk boot pass (RestoreAll), and
+// nothing else — solves never touch the store.
+
+// tryRestore attempts to restore graph id's chain from the snapshot store.
+// It returns (nil, false) whenever a fresh build is required: no store
+// configured, blob absent, or blob unusable (corrupt, truncated, wrong
+// version, wrong graph — every such failure counts as a miss and an error,
+// never an outage).
+func (s *Server) tryRestore(id string) (*solver.Solver, bool) {
+	if s.cfg.Snapshots == nil {
+		return nil, false
+	}
+	data, err := s.cfg.Snapshots.Get(id)
+	if err != nil {
+		s.snapMisses.Add(1)
+		if !errors.Is(err, chainio.ErrNotFound) {
+			s.snapErrors.Add(1)
+		}
+		return nil, false
+	}
+	sv, err := chainio.Decode(data, id, solver.Options{Workers: s.cfg.Workers})
+	if err != nil {
+		s.snapMisses.Add(1)
+		s.snapErrors.Add(1)
+		return nil, false
+	}
+	s.snapHits.Add(1)
+	return sv, true
+}
+
+// snapshotOne encodes and persists one built chain, updating the counters.
+func (s *Server) snapshotOne(id string, sv *solver.Solver) error {
+	data, err := chainio.Encode(sv, id)
+	if err == nil {
+		err = s.cfg.Snapshots.Put(id, data)
+	}
+	if err != nil {
+		s.snapErrors.Add(1)
+		return fmt.Errorf("service: snapshotting %s: %w", id, err)
+	}
+	s.snapWrites.Add(1)
+	return nil
+}
+
+// SnapshotAll persists every finished cached chain through the configured
+// store and returns the number written. Put is idempotent per content
+// address, so overlapping with write-behind writes is harmless. ctx bounds
+// the pass between entries; the first error is returned after attempting
+// the rest.
+func (s *Server) SnapshotAll(ctx context.Context) (int, error) {
+	if s.cfg.Snapshots == nil {
+		return 0, nil
+	}
+	type target struct {
+		id string
+		sv *solver.Solver
+	}
+	s.mu.Lock()
+	targets := make([]target, 0, len(s.entries))
+	for id, e := range s.entries {
+		select {
+		case <-e.built:
+		default:
+			continue // still building; its own write-behind will cover it
+		}
+		if e.buildErr == nil && e.solver != nil {
+			targets = append(targets, target{id, e.solver})
+		}
+	}
+	s.mu.Unlock()
+	var firstErr error
+	written := 0
+	for _, t := range targets {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		if err := s.snapshotOne(t.id, t.sv); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		written++
+	}
+	return written, firstErr
+}
+
+// RestoreAll loads every snapshot in the configured store into the cache —
+// the boot-time warm start. Each successful restore counts as a snapshot
+// hit; unusable blobs are skipped (counted as errors) and left for
+// restore-on-miss or a fresh build to supersede. The cache is trimmed to
+// its usual bounds afterwards, so a store holding more chains than
+// MaxGraphs/MaxCacheBytes warm-starts the most recently restored ones.
+func (s *Server) RestoreAll(ctx context.Context) (int, error) {
+	if s.cfg.Snapshots == nil {
+		return 0, nil
+	}
+	ids, err := s.cfg.Snapshots.List()
+	if err != nil {
+		return 0, fmt.Errorf("service: listing snapshots: %w", err)
+	}
+	var firstErr error
+	restored := 0
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		s.mu.Lock()
+		_, exists := s.entries[id]
+		s.mu.Unlock()
+		if exists {
+			continue
+		}
+		sv, ok := s.tryRestore(id)
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("service: snapshot %s unusable; skipped", id)
+			}
+			continue
+		}
+		t0 := time.Now()
+		e := &entry{
+			id:       id,
+			source:   "snapshot",
+			n:        sv.G.N,
+			m:        sv.G.M(),
+			built:    make(chan struct{}),
+			solver:   sv,
+			restored: true,
+			levels:   sv.Chain.Depth(),
+			bytes:    sv.MemoryBytes(),
+		}
+		e.buildDur = time.Since(t0)
+		close(e.built)
+		s.mu.Lock()
+		if _, raced := s.entries[id]; raced {
+			s.mu.Unlock()
+			continue // a concurrent registration beat us; keep its entry
+		}
+		e.elem = s.lru.PushFront(e)
+		s.entries[id] = e
+		s.cacheBytes += e.bytes
+		s.evictLocked(nil)
+		s.mu.Unlock()
+		restored++
+	}
+	return restored, firstErr
+}
+
+// Shutdown flushes chain persistence: it waits for in-flight write-behind
+// snapshot writes, then runs a SnapshotAll pass so every cached chain —
+// including ones built before snapshotting was enabled or restored and
+// since re-registered — survives the restart. Call it after the HTTP
+// server has drained so no new builds race the pass.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.snapWG.Wait()
+	_, err := s.SnapshotAll(ctx)
+	return err
+}

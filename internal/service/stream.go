@@ -34,10 +34,14 @@ var ErrStreamAbort = errors.New("service: stream aborted")
 // abort the stream; rows already emitted stay emitted.
 func (s *Server) SolveStream(ctx context.Context, id string, eps float64,
 	next func() ([]float64, error), emit func(row int, x []float64, st solver.SolveStats) error) (int, error) {
-	e, ok := s.lookup(id)
+	// The reference spans the whole stream, not just one window: between
+	// windows the entry may be evicted (it no longer serves lookups), but
+	// its solver must stay reclaimable-only-after the stream finishes.
+	e, ok := s.lookupRef(id)
 	if !ok {
 		return 0, &NotFoundError{ID: id}
 	}
+	defer s.release(e)
 	select {
 	case <-e.built:
 	case <-ctx.Done():
@@ -93,6 +97,7 @@ func (s *Server) SolveStream(ctx context.Context, id string, eps float64,
 			for _, st := range sts {
 				e.iterations.Add(int64(st.Iterations))
 			}
+			s.recharge(e)
 			for i := range xs {
 				if err := emit(done+i, xs[i], sts[i]); err != nil {
 					return done + i, fmt.Errorf("%w: emit row %d: %v", ErrStreamAbort, done+i, err)

@@ -7,6 +7,7 @@
 package solver
 
 import (
+	"fmt"
 	"math/rand"
 
 	"parlap/internal/graph"
@@ -14,20 +15,22 @@ import (
 	"parlap/internal/wd"
 )
 
-// elimKind distinguishes the three elimination operations.
-type elimKind uint8
+// ElimKind distinguishes the three elimination operations. It is exported
+// (with its constants) so the chain snapshot codec can encode op logs with a
+// stable one-byte wire form.
+type ElimKind uint8
 
 const (
-	elimDeg0 elimKind = iota // isolated vertex: x_v := 0
-	elimDeg1                 // leaf: x_v = x_a + b_v/w1
-	elimDeg2                 // series splice: x_v = (w1·x_a + w2·x_b + b_v)/(w1+w2)
+	ElimDeg0 ElimKind = iota // isolated vertex: x_v := 0
+	ElimDeg1                 // leaf: x_v = x_a + b_v/w1
+	ElimDeg2                 // series splice: x_v = (w1·x_a + w2·x_b + b_v)/(w1+w2)
 )
 
 // ElimOp is one recorded partial-Cholesky elimination. Ops within a round
 // touch pairwise non-adjacent vertices, so each round's back-substitutions
 // are independent (parallelizable).
 type ElimOp struct {
-	Kind   elimKind
+	Kind   ElimKind
 	V      int32 // eliminated vertex (original numbering of the input graph)
 	A, B   int32 // neighbors (deg1 uses A; deg2 uses A and B)
 	W1, W2 float64
@@ -313,11 +316,11 @@ func GreedyEliminationW(workers int, g *graph.Graph, rng *rand.Rand, rec *wd.Rec
 			lo := off[v]
 			switch deg(v) {
 			case 0:
-				ops[k] = ElimOp{Kind: elimDeg0, V: int32(v)}
+				ops[k] = ElimOp{Kind: ElimDeg0, V: int32(v)}
 			case 1:
-				ops[k] = ElimOp{Kind: elimDeg1, V: int32(v), A: nbr[lo], W1: wt[lo]}
+				ops[k] = ElimOp{Kind: ElimDeg1, V: int32(v), A: nbr[lo], W1: wt[lo]}
 			case 2:
-				ops[k] = ElimOp{Kind: elimDeg2, V: int32(v),
+				ops[k] = ElimOp{Kind: ElimDeg2, V: int32(v),
 					A: nbr[lo], B: nbr[lo+1], W1: wt[lo], W2: wt[lo+1]}
 			}
 		})
@@ -339,7 +342,7 @@ func GreedyEliminationW(workers int, g *graph.Graph, rng *rand.Rand, rec *wd.Rec
 			return !accepted[e.u] && !accepted[e.v]
 		})
 		splices := par.FilterIndexW(workers, len(ops), func(k int) bool {
-			return ops[k].Kind == elimDeg2
+			return ops[k].Kind == ElimDeg2
 		})
 		next := make([]elimEdge, len(kept)+len(splices))
 		par.ForW(workers, len(kept), func(i int) {
@@ -397,9 +400,9 @@ func (el *Elimination) appendRecvRound(workers, base int, ops []ElimOp) {
 	cnt := make([]int, len(ops))
 	par.ForW(workers, len(ops), func(k int) {
 		switch ops[k].Kind {
-		case elimDeg1:
+		case ElimDeg1:
 			cnt[k] = 1
-		case elimDeg2:
+		case ElimDeg2:
 			cnt[k] = 2
 		}
 	})
@@ -409,9 +412,9 @@ func (el *Elimination) appendRecvRound(workers, base int, ops []ElimOp) {
 		at := itemOff[k]
 		op := &ops[k]
 		switch op.Kind {
-		case elimDeg1:
+		case ElimDeg1:
 			items[at] = recvItem{op.A, int32(base + k), 1}
-		case elimDeg2:
+		case ElimDeg2:
 			s := op.W1 + op.W2
 			items[at] = recvItem{op.A, int32(base + k), op.W1 / s}
 			items[at+1] = recvItem{op.B, int32(base + k), op.W2 / s}
@@ -666,11 +669,11 @@ func (el *Elimination) BackSolveIntoW(workers int, xReduced, carry, x []float64)
 			for k := range ops {
 				op := &ops[k]
 				switch op.Kind {
-				case elimDeg0:
+				case ElimDeg0:
 					x[op.V] = 0
-				case elimDeg1:
+				case ElimDeg1:
 					x[op.V] = x[op.A] + carry[lo+k]/op.W1
-				case elimDeg2:
+				case ElimDeg2:
 					x[op.V] = (op.W1*x[op.A] + op.W2*x[op.B] + carry[lo+k]) / (op.W1 + op.W2)
 				}
 			}
@@ -680,11 +683,11 @@ func (el *Elimination) BackSolveIntoW(workers int, xReduced, carry, x []float64)
 			for k := clo; k < chi; k++ {
 				op := &ops[k]
 				switch op.Kind {
-				case elimDeg0:
+				case ElimDeg0:
 					x[op.V] = 0
-				case elimDeg1:
+				case ElimDeg1:
 					x[op.V] = x[op.A] + carry[lo+k]/op.W1
-				case elimDeg2:
+				case ElimDeg2:
 					x[op.V] = (op.W1*x[op.A] + op.W2*x[op.B] + carry[lo+k]) / (op.W1 + op.W2)
 				}
 			}
@@ -728,15 +731,15 @@ func (el *Elimination) BackSolveBatchIntoW(workers int, xReduced, carry, xs [][]
 			for k := clo; k < chi; k++ {
 				op := &ops[k]
 				switch op.Kind {
-				case elimDeg0:
+				case ElimDeg0:
 					for c := 0; c < kcols; c++ {
 						xs[c][op.V] = 0
 					}
-				case elimDeg1:
+				case ElimDeg1:
 					for c := 0; c < kcols; c++ {
 						xs[c][op.V] = xs[c][op.A] + carry[c][lo+k]/op.W1
 					}
-				case elimDeg2:
+				case ElimDeg2:
 					for c := 0; c < kcols; c++ {
 						xs[c][op.V] = (op.W1*xs[c][op.A] + op.W2*xs[c][op.B] + carry[c][lo+k]) / (op.W1 + op.W2)
 					}
@@ -744,6 +747,79 @@ func (el *Elimination) BackSolveBatchIntoW(workers int, xReduced, carry, xs [][]
 			}
 		})
 	}
+}
+
+// ReindexW rebuilds every derived structure of an elimination whose OrigN,
+// Ops and RoundEnd came from a snapshot: the Keep/Pos vertex maps, the round
+// count, and the owner-computes reverse index. The replay runs the exact
+// passes GreedyEliminationW ran at build time (appendRecvRound per round,
+// ascending-vertex Keep), so the reconstructed index — including the
+// recomputed forwarding coefficients wᵢ/(w₁+w₂) from the ops' exact weight
+// bits — is bit-identical to the one the original elimination carried, and
+// ForwardRHS/BackSolve replay bitwise. It validates the op log (vertex
+// ranges, monotone round boundaries, no vertex eliminated twice) and returns
+// an error instead of building an index that could panic or scatter out of
+// bounds. Reduced is left untouched; callers attach the next level's graph.
+func (el *Elimination) ReindexW(workers int) error {
+	n := el.OrigN
+	if n < 0 {
+		return fmt.Errorf("solver: elimination has negative vertex count %d", n)
+	}
+	if len(el.RoundEnd) > 0 && el.RoundEnd[len(el.RoundEnd)-1] != len(el.Ops) {
+		return fmt.Errorf("solver: elimination round boundaries end at %d, op log has %d ops", el.RoundEnd[len(el.RoundEnd)-1], len(el.Ops))
+	}
+	if len(el.RoundEnd) == 0 && len(el.Ops) != 0 {
+		return fmt.Errorf("solver: elimination has %d ops but no round boundaries", len(el.Ops))
+	}
+	prev := 0
+	for ri, end := range el.RoundEnd {
+		if end < prev || end > len(el.Ops) {
+			return fmt.Errorf("solver: elimination round %d boundary %d out of order", ri, end)
+		}
+		prev = end
+	}
+	eliminated := make([]bool, n)
+	for i := range el.Ops {
+		op := &el.Ops[i]
+		if op.V < 0 || int(op.V) >= n {
+			return fmt.Errorf("solver: elimination op %d eliminates out-of-range vertex %d", i, op.V)
+		}
+		if eliminated[op.V] {
+			return fmt.Errorf("solver: elimination op %d eliminates vertex %d twice", i, op.V)
+		}
+		eliminated[op.V] = true
+		switch op.Kind {
+		case ElimDeg0:
+		case ElimDeg1:
+			if op.A < 0 || int(op.A) >= n || op.W1 == 0 {
+				return fmt.Errorf("solver: elimination op %d has invalid rake target/weight", i)
+			}
+		case ElimDeg2:
+			if op.A < 0 || int(op.A) >= n || op.B < 0 || int(op.B) >= n || op.W1+op.W2 == 0 {
+				return fmt.Errorf("solver: elimination op %d has invalid splice targets/weights", i)
+			}
+		default:
+			return fmt.Errorf("solver: elimination op %d has unknown kind %d", i, op.Kind)
+		}
+	}
+	el.Rounds = len(el.RoundEnd)
+	el.Keep = par.FilterIndexW(workers, n, func(v int) bool { return !eliminated[v] })
+	el.Pos = make([]int, n)
+	par.ForChunkedW(workers, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			el.Pos[v] = -1
+		}
+	})
+	par.ForW(workers, len(el.Keep), func(j int) {
+		el.Pos[el.Keep[j]] = j
+	})
+	el.recvRoundEnd, el.recvVert, el.recvItemEnd = nil, nil, nil
+	el.recvOp, el.recvCoef = nil, nil
+	for ri := 0; ri < el.Rounds; ri++ {
+		lo, hi := el.roundBounds(ri)
+		el.appendRecvRound(workers, lo, el.Ops[lo:hi])
+	}
+	return nil
 }
 
 // MemoryBytes estimates the elimination's retained footprint: the op log,

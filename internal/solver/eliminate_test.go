@@ -58,7 +58,7 @@ func TestEliminationParallelEdgesMergeToLeaf(t *testing.T) {
 	if op0 == nil {
 		t.Fatal("vertex 0 never eliminated")
 	}
-	if op0.Kind != elimDeg1 || op0.A != 1 || op0.W1 != 5 {
+	if op0.Kind != ElimDeg1 || op0.A != 1 || op0.W1 != 5 {
 		t.Fatalf("vertex 0 eliminated as %+v, want deg1 to 1 with merged weight 5", *op0)
 	}
 	exactElimSolve(t, g, el, []float64{1, 1, -2}, 1e-9)
@@ -184,10 +184,10 @@ func TestEliminationSpliceMergesOntoExistingEdge(t *testing.T) {
 			elim[op.V] = true
 		}
 		for _, op := range el.Ops[start:end] {
-			if op.Kind == elimDeg1 && elim[op.A] {
+			if op.Kind == ElimDeg1 && elim[op.A] {
 				t.Fatal("deg1 neighbor eliminated in same round")
 			}
-			if op.Kind == elimDeg2 && (elim[op.A] || elim[op.B]) {
+			if op.Kind == ElimDeg2 && (elim[op.A] || elim[op.B]) {
 				t.Fatal("deg2 neighbor eliminated in same round")
 			}
 		}

@@ -161,10 +161,10 @@ func TestEliminationOpsIndependentWithinRounds(t *testing.T) {
 			touched[op.V] = true
 		}
 		for _, op := range el.Ops[start:end] {
-			if op.Kind == elimDeg1 && touched[op.A] {
+			if op.Kind == ElimDeg1 && touched[op.A] {
 				t.Fatal("deg1 neighbor also eliminated in same round")
 			}
-			if op.Kind == elimDeg2 && (touched[op.A] || touched[op.B]) {
+			if op.Kind == ElimDeg2 && (touched[op.A] || touched[op.B]) {
 				t.Fatal("deg2 neighbor also eliminated in same round")
 			}
 		}
