@@ -15,8 +15,17 @@
 //	                                line per solution out; ?eps= sets the target.
 //	                                Arbitrarily large batches stream through
 //	                                -stream-window-sized admitted solve windows.
-//	GET  /graphs/{id}/stats         chain shape, build time, cache/solve counters
+//	GET  /graphs/{id}/stats         chain shape, build time, cache/solve counters,
+//	                                per-stage solve timings
 //	GET  /healthz                   service-wide health and cache statistics
+//	GET  /metrics                   Prometheus text exposition: solve/stream/cache
+//	                                counters, latency histograms end-to-end and per
+//	                                stage, Go runtime stats
+//
+// Observability: every request gets an X-Request-ID echoed in error
+// envelopes and structured logs (-log-json switches them to JSON lines);
+// POST .../solve?debug=timings returns the request's stage trace; and
+// -pprof-addr serves net/http/pprof on a separate listener.
 //
 // With -chain-dir the server persists built chains as content-addressed
 // snapshots (internal/chainio) and restores them on boot and on cache miss,
@@ -33,8 +42,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -67,10 +77,22 @@ var (
 	chainDir      = flag.String("chain-dir", "", "directory for persisted chain snapshots; enables restore-on-boot/miss and snapshot-on-shutdown (empty = no persistence)")
 	snapOnBuild   = flag.Bool("snapshot-on-build", true, "with -chain-dir: also persist each chain right after it builds (write-behind), not only at shutdown")
 	drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests and the shutdown snapshot pass")
+	pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it off any public interface)")
+	logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of logfmt text")
 )
 
 func main() {
 	flag.Parse()
+	// Structured logging: one handler for the binary's own lifecycle events
+	// and the service's per-request/build/snapshot logs alike, so a log
+	// pipeline sees a single stream keyed by request_id.
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 	// Chain-schedule knobs thread through service.Config so operators can
 	// tune cached chains (κ schedule, depth, calibration envelope) without
 	// rebuilding the binary; the calibrated result is visible per graph in
@@ -113,22 +135,45 @@ func main() {
 		Chain:               &chain,
 		Snapshots:           store,
 		SnapshotOnBuild:     *snapOnBuild,
+		Logger:              logger,
 	})
 	if store != nil {
 		// Warm start: load every persisted chain before accepting traffic,
 		// so the first solve after a restart is a cache hit, not a rebuild.
 		restored, err := srv.RestoreAll(context.Background())
 		if err != nil {
-			log.Printf("sddserver: snapshot restore: %v", err)
+			logger.Warn("snapshot_restore_failed", "err", err)
 		}
-		log.Printf("sddserver: restored %d chain(s) from %s", restored, *chainDir)
+		logger.Info("snapshot_restore", "restored", restored, "dir", *chainDir)
+	}
+	if *pprofAddr != "" {
+		// Profiling endpoints on their own listener (own mux, never the
+		// default one), so /debug/pprof can stay bound to localhost while the
+		// API listens publicly.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Addr: *pprofAddr, Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof_listening", "addr", *pprofAddr)
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof_server_failed", "err", err)
+			}
+		}()
 	}
 	w := *workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	log.Printf("sddserver listening on %s (cache %d graphs, %d solve slots, %d workers)",
-		*addr, *maxGraphs, *maxInflight, w)
+	logger.Info("listening",
+		"addr", *addr,
+		"max_graphs", *maxGraphs,
+		"solve_slots", *maxInflight,
+		"workers", w,
+	)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -149,14 +194,14 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately via the default handler
-	log.Printf("sddserver: draining (up to %v)", *drainTimeout)
+	logger.Info("draining", "timeout", drainTimeout.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {
-		log.Printf("sddserver: drain: %v", err)
+		logger.Warn("drain_failed", "err", err)
 	}
 	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("sddserver: snapshot pass: %v", err)
+		logger.Warn("snapshot_pass_failed", "err", err)
 	}
-	log.Printf("sddserver: shut down cleanly")
+	logger.Info("shut_down_cleanly")
 }

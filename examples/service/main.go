@@ -6,10 +6,18 @@
 // residuals against a threshold. Exit status is non-zero on any failure, so
 // it can gate CI.
 //
+// With -load N it switches to load-generator mode: after registering, C
+// concurrent workers (-concurrency) fire N solve requests at the cached
+// chain, latencies land in the same log-bucketed histogram the server's
+// /metrics uses (internal/obs), and the run prints p50/p95/p99/mean plus
+// one ?debug=timings stage breakdown — the latency-harness half of the
+// observability story, suitable as a CI benchmark artifact.
+//
 // Usage (against a running server):
 //
 //	go run ./cmd/sddserver -addr 127.0.0.1:8080 &
 //	go run ./examples/service -addr http://127.0.0.1:8080 -spec grid2d:64x64 -rhs 4
+//	go run ./examples/service -addr http://127.0.0.1:8080 -spec grid2d:64x64 -load 200 -concurrency 4
 package main
 
 import (
@@ -21,7 +29,12 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"parlap/internal/obs"
 )
 
 var (
@@ -39,6 +52,9 @@ var (
 	dumpX       = flag.String("dump-x", "", "write the single-solve solutions to this JSON file")
 	requireX    = flag.String("require-x", "", "fail unless the single-solve solutions are bitwise identical to this JSON file (from -dump-x)")
 	minSnapHits = flag.Int64("min-snapshot-hits", 0, "fail unless /healthz reports at least this many snapshot hits")
+	// Load-generator mode.
+	load        = flag.Int("load", 0, "fire this many solve requests and report latency percentiles (0 = run the smoke checks instead)")
+	concurrency = flag.Int("concurrency", 4, "concurrent load-generator workers (with -load)")
 )
 
 func fatalf(format string, args ...any) {
@@ -93,11 +109,24 @@ type solveStats struct {
 	Residual   float64 `json:"residual"`
 }
 
+type solveTimings struct {
+	TotalMS   float64   `json:"total_ms"`
+	QueueMS   float64   `json:"queue_ms"`
+	PCGMS     float64   `json:"pcg_ms"`
+	PrecondMS float64   `json:"precond_ms"`
+	BottomMS  float64   `json:"bottom_ms"`
+	Levels    int       `json:"levels"`
+	ChebMS    []float64 `json:"cheb_ms_per_level"`
+	ForwardMS []float64 `json:"forward_ms_per_level"`
+	BackMS    []float64 `json:"back_ms_per_level"`
+}
+
 type solveResp struct {
-	X          []float64    `json:"x"`
-	Stats      *solveStats  `json:"stats"`
-	Xs         [][]float64  `json:"xs"`
-	BatchStats []solveStats `json:"batch_stats"`
+	X          []float64     `json:"x"`
+	Stats      *solveStats   `json:"stats"`
+	Xs         [][]float64   `json:"xs"`
+	BatchStats []solveStats  `json:"batch_stats"`
+	Timings    *solveTimings `json:"timings"`
 }
 
 func main() {
@@ -135,6 +164,11 @@ func main() {
 		fatalf("second registration was not a cache hit (cached=%v id=%s want %s)", reg2.Cached, reg2.ID, reg.ID)
 	}
 	fmt.Printf("re-registered: cache hit, chain built exactly once\n")
+
+	if *load > 0 {
+		runLoad(reg)
+		return
+	}
 
 	// Random mean-free right-hand sides.
 	rng := rand.New(rand.NewSource(*seed + 1000))
@@ -315,6 +349,11 @@ func main() {
 		}
 		fmt.Printf("solutions bitwise identical to %s across the restart\n", *requireX)
 	}
+	checkSnapHits()
+	fmt.Println("OK")
+}
+
+func checkSnapHits() {
 	if *minSnapHits > 0 {
 		var health struct {
 			SnapshotHits   int64 `json:"snapshot_hits"`
@@ -329,5 +368,113 @@ func main() {
 		fmt.Printf("snapshot_hits=%d (errors=%d): chain served from the snapshot store\n",
 			health.SnapshotHits, health.SnapshotErrors)
 	}
+}
+
+// runLoad is the load-generator mode: -concurrency workers fire -load solve
+// requests at the cached chain, each latency lands in the same log-bucketed
+// histogram the server's /metrics exports (internal/obs), and the run
+// reports client-observed percentiles plus one ?debug=timings stage
+// breakdown. Output is stable line-per-fact text, suitable as a CI
+// artifact.
+func runLoad(reg registerResp) {
+	solveURL := fmt.Sprintf("%s/graphs/%s/solve", *addr, reg.ID)
+	// A small pool of distinct mean-free right-hand sides, cycled across
+	// requests: varied enough to defeat any hypothetical answer caching,
+	// cheap enough to generate at any -load.
+	const pool = 8
+	rng := rand.New(rand.NewSource(*seed + 2000))
+	bs := make([][]float64, pool)
+	for c := range bs {
+		b := make([]float64, reg.N)
+		mean := 0.0
+		for i := range b {
+			b[i] = rng.NormFloat64()
+			mean += b[i]
+		}
+		mean /= float64(reg.N)
+		for i := range b {
+			b[i] -= mean
+		}
+		bs[c] = b
+	}
+	// One warm-up request so pooled workspaces exist before timing starts.
+	var warm solveResp
+	if err := postJSON(solveURL, map[string]any{"b": bs[0], "eps": *eps}, &warm); err != nil {
+		fatalf("warm-up solve: %v", err)
+	}
+
+	var hist obs.Histogram
+	var next, failures atomic.Int64
+	errc := make(chan error, *concurrency)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *load {
+					return
+				}
+				var resp solveResp
+				ts := time.Now()
+				err := postJSON(solveURL, map[string]any{"b": bs[i%pool], "eps": *eps}, &resp)
+				if err == nil && (resp.Stats == nil || !resp.Stats.Converged || resp.Stats.Residual > *maxResidual) {
+					err = fmt.Errorf("bad solve stats %+v", resp.Stats)
+				}
+				if err != nil {
+					failures.Add(1)
+					select {
+					case errc <- fmt.Errorf("load request %d: %v", i, err):
+					default:
+					}
+					continue
+				}
+				hist.ObserveSince(ts)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	if n := failures.Load(); n > 0 {
+		fatalf("%d/%d load requests failed; first: %v", n, *load, <-errc)
+	}
+
+	snap := hist.Snapshot()
+	if snap.Count != int64(*load) {
+		fatalf("recorded %d latencies, want %d", snap.Count, *load)
+	}
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	fmt.Printf("load: %d requests, %d concurrent, graph %s (n=%d m=%d levels=%d)\n",
+		*load, *concurrency, *spec, reg.N, reg.M, reg.Levels)
+	fmt.Printf("latency_ms: p50=%.3f p95=%.3f p99=%.3f mean=%.3f min=%.3f max=%.3f\n",
+		ms(snap.Quantile(0.50)), ms(snap.Quantile(0.95)), ms(snap.Quantile(0.99)),
+		snap.Mean()/1e6, ms(snap.Min), ms(snap.Max))
+	fmt.Printf("throughput: %.1f req/s over %s\n",
+		float64(*load)/wall.Seconds(), wall.Round(time.Millisecond))
+
+	// One traced request: the server-side stage breakdown for the same
+	// solve the percentiles above measured from the outside.
+	var dbg solveResp
+	if err := postJSON(solveURL+"?debug=timings", map[string]any{"b": bs[0], "eps": *eps}, &dbg); err != nil {
+		fatalf("debug=timings solve: %v", err)
+	}
+	tm := dbg.Timings
+	if tm == nil || tm.TotalMS <= 0 {
+		fatalf("?debug=timings returned no stage trace (got %+v)", tm)
+	}
+	perLevel := func(v []float64) string {
+		parts := make([]string, len(v))
+		for i, x := range v {
+			parts[i] = fmt.Sprintf("%.3f", x)
+		}
+		return strings.Join(parts, ",")
+	}
+	fmt.Printf("timings_ms: total=%.3f queue=%.3f pcg=%.3f precond=%.3f bottom=%.3f levels=%d\n",
+		tm.TotalMS, tm.QueueMS, tm.PCGMS, tm.PrecondMS, tm.BottomMS, tm.Levels)
+	fmt.Printf("timings_ms_per_level: cheb=[%s] forward=[%s] back=[%s]\n",
+		perLevel(tm.ChebMS), perLevel(tm.ForwardMS), perLevel(tm.BackMS))
+	checkSnapHits()
 	fmt.Println("OK")
 }

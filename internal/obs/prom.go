@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Expo writes Prometheus text exposition format (version 0.0.4) by hand —
+// no client library, no registry. The caller drives the order, so output is
+// deterministic: Header once per metric family, then one Sample per series.
+type Expo struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewExpo wraps w. Call Flush when done; the first write error is sticky
+// and returned there.
+func NewExpo(w io.Writer) *Expo { return &Expo{w: bufio.NewWriter(w)} }
+
+// Label is one exposition label pair.
+type Label struct{ K, V string }
+
+// Header emits the # HELP / # TYPE preamble for a metric family.
+// typ is "counter", "gauge" or "histogram".
+func (e *Expo) Header(name, help, typ string) {
+	e.ws("# HELP ", name, " ", help, "\n# TYPE ", name, " ", typ, "\n")
+}
+
+// Sample emits one series sample. Labels may be nil.
+func (e *Expo) Sample(name string, labels []Label, v float64) {
+	e.ws(name)
+	e.labels(labels)
+	e.ws(" ", formatFloat(v), "\n")
+}
+
+// Int emits one integer-valued series sample.
+func (e *Expo) Int(name string, labels []Label, v int64) {
+	e.ws(name)
+	e.labels(labels)
+	e.ws(" ", strconv.FormatInt(v, 10), "\n")
+}
+
+// Histogram emits a full histogram family body (le-bucketed cumulative
+// counts on the fixed PromBoundsSeconds ladder, plus _sum and _count) for a
+// nanosecond-sample snapshot, converting to seconds. Header must have been
+// written by the caller (type "histogram"); extra labels are appended to
+// every series.
+func (e *Expo) Histogram(name string, labels []Label, s Snapshot) {
+	boundsNS := make([]int64, len(PromBoundsSeconds))
+	for i, b := range PromBoundsSeconds {
+		boundsNS[i] = int64(b * 1e9)
+	}
+	cum := s.CumulativeNS(boundsNS)
+	lbls := make([]Label, len(labels)+1)
+	copy(lbls, labels)
+	for i, b := range PromBoundsSeconds {
+		lbls[len(labels)] = Label{"le", formatFloat(b)}
+		e.Int(name+"_bucket", lbls, cum[i])
+	}
+	lbls[len(labels)] = Label{"le", "+Inf"}
+	e.Int(name+"_bucket", lbls, s.Count)
+	e.Sample(name+"_sum", labels, float64(s.Sum)/1e9)
+	e.Int(name+"_count", labels, s.Count)
+}
+
+// Flush flushes the buffered output and returns the first error seen.
+func (e *Expo) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+func (e *Expo) ws(parts ...string) {
+	if e.err != nil {
+		return
+	}
+	for _, p := range parts {
+		if _, err := e.w.WriteString(p); err != nil {
+			e.err = err
+			return
+		}
+	}
+}
+
+func (e *Expo) labels(labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	e.ws("{")
+	for i, l := range labels {
+		if i > 0 {
+			e.ws(",")
+		}
+		e.ws(l.K, `="`, escapeLabel(l.V), `"`)
+	}
+	e.ws("}")
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the shortest round-trip way (matching how
+// Prometheus itself formats, e.g. "0.0001" not "1e-04").
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

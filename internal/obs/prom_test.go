@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden exposition: a counter, a gauge with labels, and a histogram with
+// known samples must render byte-for-byte to the Prometheus text format.
+func TestExpoGolden(t *testing.T) {
+	var h Histogram
+	h.Observe(50_000)    // 50µs  → ≤ 0.0001 bucket
+	h.Observe(2_000_000) // 2ms   → ≤ 0.0025 bucket
+	h.Observe(2_000_000)
+
+	var b strings.Builder
+	e := NewExpo(&b)
+	e.Header("parlap_solves_total", "Solve requests served.", "counter")
+	e.Int("parlap_solves_total", nil, 42)
+	e.Header("parlap_cache_bytes", "Estimated cached chain bytes.", "gauge")
+	e.Int("parlap_cache_bytes", []Label{{"tier", "hot"}}, 1024)
+	e.Header("parlap_solve_duration_seconds", "End-to-end solve latency.", "histogram")
+	e.Histogram("parlap_solve_duration_seconds", nil, h.Snapshot())
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `# HELP parlap_solves_total Solve requests served.
+# TYPE parlap_solves_total counter
+parlap_solves_total 42
+# HELP parlap_cache_bytes Estimated cached chain bytes.
+# TYPE parlap_cache_bytes gauge
+parlap_cache_bytes{tier="hot"} 1024
+# HELP parlap_solve_duration_seconds End-to-end solve latency.
+# TYPE parlap_solve_duration_seconds histogram
+parlap_solve_duration_seconds_bucket{le="0.0001"} 1
+parlap_solve_duration_seconds_bucket{le="0.00025"} 1
+parlap_solve_duration_seconds_bucket{le="0.0005"} 1
+parlap_solve_duration_seconds_bucket{le="0.001"} 1
+parlap_solve_duration_seconds_bucket{le="0.0025"} 3
+parlap_solve_duration_seconds_bucket{le="0.005"} 3
+parlap_solve_duration_seconds_bucket{le="0.01"} 3
+parlap_solve_duration_seconds_bucket{le="0.025"} 3
+parlap_solve_duration_seconds_bucket{le="0.05"} 3
+parlap_solve_duration_seconds_bucket{le="0.1"} 3
+parlap_solve_duration_seconds_bucket{le="0.25"} 3
+parlap_solve_duration_seconds_bucket{le="0.5"} 3
+parlap_solve_duration_seconds_bucket{le="1"} 3
+parlap_solve_duration_seconds_bucket{le="2.5"} 3
+parlap_solve_duration_seconds_bucket{le="5"} 3
+parlap_solve_duration_seconds_bucket{le="10"} 3
+parlap_solve_duration_seconds_bucket{le="+Inf"} 3
+parlap_solve_duration_seconds_sum 0.00405
+parlap_solve_duration_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	var b strings.Builder
+	e := NewExpo(&b)
+	e.Int("m", []Label{{"k", "a\"b\\c\nd"}}, 1)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "m{k=\"a\\\"b\\\\c\\nd\"} 1\n"
+	if got := b.String(); got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, st := range Stages() {
+		name := st.String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Fatalf("stage %d has bad or duplicate name %q", st, name)
+		}
+		seen[name] = true
+	}
+}
+
+// StageNS must partition the preconditioner time: the exclusive stages sum
+// to PrecondNS when the trace was filled consistently, and StagePCG is the
+// outer driver net of preconditioning.
+func TestTraceStageAggregation(t *testing.T) {
+	tr := SolveTrace{
+		QueueNS:     10,
+		WorkspaceNS: 5,
+		OuterNS:     1000,
+		PrecondNS:   700,
+		BottomNS:    100,
+		Levels:      2,
+	}
+	tr.ChebNS[0], tr.ChebNS[1] = 200, 100
+	tr.FwdNS[0], tr.FwdNS[1] = 80, 70
+	tr.BackNS[0], tr.BackNS[1] = 90, 60
+	tr.TotalNS = 1015
+	if got := tr.StageNS(StagePCG); got != 300 {
+		t.Fatalf("pcg = %d, want 300", got)
+	}
+	sum := tr.StageNS(StageCheb) + tr.StageNS(StageForward) +
+		tr.StageNS(StageBack) + tr.StageNS(StageBottom)
+	if sum != tr.PrecondNS {
+		t.Fatalf("exclusive stages sum to %d, want PrecondNS %d", sum, tr.PrecondNS)
+	}
+	tr.Reset()
+	if tr.OuterNS != 0 || tr.ChebNS[0] != 0 {
+		t.Fatal("Reset did not zero the trace")
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+// SolveTrace is the fixed-slot stage timer one solve (or one streaming
+// window) carries through the serving path: where the request's wall time
+// went, from admission queue to the per-level chain kernels. It is a plain
+// value with fixed-size arrays — embedding it in a pooled per-solve
+// workspace costs zero allocations, and copying it out to a caller is a
+// struct assignment. All fields are nanoseconds unless noted.
+//
+// Attribution is exclusive within the preconditioner: ChebNS[i] counts level
+// i's Chebyshev vector kernels and mat-vecs but NOT the recursive
+// preconditioner applications it makes (those land in the deeper levels'
+// slots), FwdNS/BackNS count level i's elimination replay and
+// back-substitution, and BottomNS the dense bottom solves — so
+// ΣCheb + ΣFwd + ΣBack + Bottom ≈ PrecondNS, and the per-stage series
+// partition the apply time instead of double-counting the recursion.
+type SolveTrace struct {
+	// QueueNS is time spent waiting in the solve admission queue (filled by
+	// the serving layer, not the solver).
+	QueueNS int64
+	// WorkspaceNS is the pooled-workspace acquire (and lazy growth) time.
+	WorkspaceNS int64
+	// OuterNS is the outer PCG driver's total wall time, INCLUDING the
+	// preconditioner applications it makes; OuterNS − PrecondNS is the
+	// driver's own mat-vec/dot/axpy time.
+	OuterNS int64
+	// PrecondNS is the total time inside whole-chain preconditioner
+	// applications.
+	PrecondNS int64
+	// BottomNS is the total time in dense bottom-level direct solves.
+	BottomNS int64
+	// TotalNS is the end-to-end request time (filled by the serving layer).
+	TotalNS int64
+	// ChebNS, FwdNS and BackNS are per-chain-level totals (level 0 = top);
+	// chains deeper than TraceLevels fold the excess into the last slot.
+	ChebNS [TraceLevels]int64
+	FwdNS  [TraceLevels]int64
+	BackNS [TraceLevels]int64
+	// Levels is the chain depth the solve ran against (may exceed
+	// TraceLevels, in which case the arrays are folded).
+	Levels int
+}
+
+// TraceLevels is the number of per-level slots; chains are depth ≤ 12 by
+// construction (ChainParams.MaxLevels), so folding never triggers in
+// practice.
+const TraceLevels = 16
+
+// LevelIndex clamps a chain level to a trace slot.
+func LevelIndex(level int) int {
+	if level >= TraceLevels {
+		return TraceLevels - 1
+	}
+	return level
+}
+
+// Reset zeroes the trace in place (no allocation).
+func (t *SolveTrace) Reset() { *t = SolveTrace{} }
+
+// Stage enumerates the serving path's timed stages.
+type Stage int
+
+const (
+	StageQueue     Stage = iota // admission queue wait
+	StageWorkspace              // pooled workspace acquire
+	StagePCG                    // outer PCG driver, excluding preconditioner applications
+	StagePrecond                // whole-chain preconditioner applications (inclusive)
+	StageCheb                   // per-level Chebyshev sweeps, summed (exclusive of recursion)
+	StageForward                // elimination forward replays, summed
+	StageBack                   // elimination back-substitutions, summed
+	StageBottom                 // dense bottom direct solves
+	StageTotal                  // end-to-end request time
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"queue", "workspace", "pcg", "precond", "cheb", "forward", "back",
+	"bottom", "total",
+}
+
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Stages lists every stage in exposition order.
+func Stages() [NumStages]Stage {
+	var out [NumStages]Stage
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// StageNS aggregates the trace's time for one stage (see the Stage
+// constants for semantics). StagePCG subtracts the preconditioner time from
+// the outer driver so the top-level stages partition TotalNS − QueueNS
+// (up to timer skew).
+func (t *SolveTrace) StageNS(s Stage) int64 {
+	switch s {
+	case StageQueue:
+		return t.QueueNS
+	case StageWorkspace:
+		return t.WorkspaceNS
+	case StagePCG:
+		if d := t.OuterNS - t.PrecondNS; d > 0 {
+			return d
+		}
+		return 0
+	case StagePrecond:
+		return t.PrecondNS
+	case StageCheb:
+		return sumLevels(&t.ChebNS)
+	case StageForward:
+		return sumLevels(&t.FwdNS)
+	case StageBack:
+		return sumLevels(&t.BackNS)
+	case StageBottom:
+		return t.BottomNS
+	case StageTotal:
+		return t.TotalNS
+	}
+	return 0
+}
+
+func sumLevels(a *[TraceLevels]int64) int64 {
+	var s int64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}

@@ -137,6 +137,14 @@ func (a *admitter) releaseLocked(id string) {
 	a.drainLocked()
 }
 
+// QueueDepth returns the number of Acquire calls currently waiting for a
+// slot (the /metrics admission-queue gauge).
+func (a *admitter) QueueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queue.Len()
+}
+
 // Inflight returns the number of currently executing solves for id and in
 // total (stats surface).
 func (a *admitter) Inflight(id string) (graph, total int) {

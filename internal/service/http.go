@@ -10,6 +10,7 @@ import (
 	"parlap/internal/gen"
 	"parlap/internal/graph"
 	"parlap/internal/graphio"
+	"parlap/internal/obs"
 )
 
 // HTTP/JSON API:
@@ -20,6 +21,7 @@ import (
 //	POST /graphs/{id}/solve/stream    ndjson RHS rows in, ndjson solutions out (see stream.go)
 //	GET  /graphs/{id}/stats           per-graph chain + serving statistics
 //	GET  /healthz                     service-wide health / cache counters
+//	GET  /metrics                     Prometheus text exposition (see metrics.go)
 //
 // Graph payloads come in the two formats the rest of the repo already
 // speaks: a generator spec ("grid2d:64x64", "pa:20000:4", … — gen.FromSpec)
@@ -69,27 +71,86 @@ type SolveStatsJSON struct {
 }
 
 // SolveResponse is the POST /graphs/{id}/solve reply: X/Stats for a single
-// solve, Xs/BatchStats for a batch.
+// solve, Xs/BatchStats for a batch. Timings appears only when the request
+// asked for it with ?debug=timings.
 type SolveResponse struct {
 	X          []float64        `json:"x,omitempty"`
 	Stats      *SolveStatsJSON  `json:"stats,omitempty"`
 	Xs         [][]float64      `json:"xs,omitempty"`
 	BatchStats []SolveStatsJSON `json:"batch_stats,omitempty"`
+	Timings    *SolveTimings    `json:"timings,omitempty"`
 }
 
+// SolveTimings is the ?debug=timings block: this request's stage trace in
+// milliseconds. The per-level arrays are truncated to the chain depth;
+// cheb+forward+back+bottom partition precond_ms (exclusive attribution),
+// and pcg_ms is the outer driver net of preconditioning.
+type SolveTimings struct {
+	TotalMS     float64   `json:"total_ms"`
+	QueueMS     float64   `json:"queue_ms"`
+	WorkspaceMS float64   `json:"workspace_ms"`
+	PCGMS       float64   `json:"pcg_ms"`
+	PrecondMS   float64   `json:"precond_ms"`
+	BottomMS    float64   `json:"bottom_ms"`
+	Levels      int       `json:"levels"`
+	ChebMS      []float64 `json:"cheb_ms_per_level"`
+	ForwardMS   []float64 `json:"forward_ms_per_level"`
+	BackMS      []float64 `json:"back_ms_per_level"`
+}
+
+// solveTimingsJSON renders a trace for the wire.
+func solveTimingsJSON(tr *obs.SolveTrace) *SolveTimings {
+	toMS := func(ns int64) float64 { return float64(ns) / 1e6 }
+	lv := tr.Levels
+	if lv > obs.TraceLevels {
+		lv = obs.TraceLevels
+	}
+	out := &SolveTimings{
+		TotalMS:     toMS(tr.TotalNS),
+		QueueMS:     toMS(tr.QueueNS),
+		WorkspaceMS: toMS(tr.WorkspaceNS),
+		PCGMS:       toMS(tr.StageNS(obs.StagePCG)),
+		PrecondMS:   toMS(tr.PrecondNS),
+		BottomMS:    toMS(tr.BottomNS),
+		Levels:      tr.Levels,
+		ChebMS:      make([]float64, lv),
+		ForwardMS:   make([]float64, lv),
+		BackMS:      make([]float64, lv),
+	}
+	for i := 0; i < lv; i++ {
+		out.ChebMS[i] = toMS(tr.ChebNS[i])
+		out.ForwardMS[i] = toMS(tr.FwdNS[i])
+		out.BackMS[i] = toMS(tr.BackNS[i])
+	}
+	return out
+}
+
+// errorResponse is the uniform JSON error envelope: every error path of
+// every route returns it, carrying the request id the route wrapper minted
+// so clients and logs can be joined.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. Every route runs through
+// s.route, which mints the request id, counts the request in /metrics, and
+// writes one structured log line. Unmatched paths get the JSON error
+// envelope from the catch-all (which also means a wrong-method request gets
+// a JSON 404 rather than the mux's plain-text 405 — the envelope is the
+// API's contract).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /graphs", s.handleRegister)
-	mux.HandleFunc("GET /graphs", s.handleList)
-	mux.HandleFunc("POST /graphs/{id}/solve", s.handleSolve)
-	mux.HandleFunc("POST /graphs/{id}/solve/stream", s.handleSolveStream)
-	mux.HandleFunc("GET /graphs/{id}/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /graphs", s.route("register", s.handleRegister))
+	mux.HandleFunc("GET /graphs", s.route("list", s.handleList))
+	mux.HandleFunc("POST /graphs/{id}/solve", s.route("solve", s.handleSolve))
+	mux.HandleFunc("POST /graphs/{id}/solve/stream", s.route("solve_stream", s.handleSolveStream))
+	mux.HandleFunc("GET /graphs/{id}/stats", s.route("stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	mux.HandleFunc("/", s.route("not_found", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, r, http.StatusNotFound, "no such route: %s %s", r.Method, r.URL.Path)
+	}))
 	return mux
 }
 
@@ -99,8 +160,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: requestID(r.Context()),
+	})
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -110,11 +174,11 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, r, http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes; split the batch across requests", int64(maxBodyBytes))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, r, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
@@ -153,11 +217,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	g, source, err := graphFromRequest(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad graph payload: %v", err)
+		writeError(w, r, http.StatusBadRequest, "bad graph payload: %v", err)
 		return
 	}
 	if g.N == 0 {
-		writeError(w, http.StatusBadRequest, "empty graph")
+		writeError(w, r, http.StatusBadRequest, "empty graph")
 		return
 	}
 	e, cached, err := s.Register(r.Context(), g, source)
@@ -165,13 +229,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		var tl *TooLargeError
 		switch {
 		case errors.As(err, &tl):
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, r, http.StatusBadRequest, "%v", err)
 		case errors.Is(err, ErrBuildAborted):
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
-			writeError(w, http.StatusServiceUnavailable, "request expired in build queue: %v", err)
+			writeError(w, r, http.StatusServiceUnavailable, "request expired in build queue: %v", err)
 		default:
-			writeError(w, http.StatusInternalServerError, "chain build failed: %v", err)
+			writeError(w, r, http.StatusInternalServerError, "chain build failed: %v", err)
 		}
 		return
 	}
@@ -198,40 +262,44 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var bs [][]float64
 	switch {
 	case single && req.Batch != nil:
-		writeError(w, http.StatusBadRequest, "set exactly one of b and batch, not both")
+		writeError(w, r, http.StatusBadRequest, "set exactly one of b and batch, not both")
 		return
 	case single:
 		bs = [][]float64{req.B}
 	case req.Batch != nil:
 		bs = req.Batch
 	default:
-		writeError(w, http.StatusBadRequest, "set one of b and batch")
+		writeError(w, r, http.StatusBadRequest, "set one of b and batch")
 		return
 	}
-	xs, sts, err := s.Solve(r.Context(), id, bs, req.Eps)
+	xs, sts, tr, err := s.solveTraced(r.Context(), id, bs, req.Eps)
 	if err != nil {
 		var nf *NotFoundError
 		switch {
 		case errors.As(err, &nf):
-			writeError(w, http.StatusNotFound, "%v", err)
+			writeError(w, r, http.StatusNotFound, "%v", err)
 		case errors.Is(err, ErrBuildAborted):
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
-			writeError(w, http.StatusServiceUnavailable, "request expired in admission queue: %v", err)
+			writeError(w, r, http.StatusServiceUnavailable, "request expired in admission queue: %v", err)
 		default:
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, r, http.StatusBadRequest, "%v", err)
 		}
 		return
+	}
+	var timings *SolveTimings
+	if r.URL.Query().Get("debug") == "timings" {
+		timings = solveTimingsJSON(&tr)
 	}
 	wire := make([]SolveStatsJSON, len(sts))
 	for i, st := range sts {
 		wire[i] = SolveStatsJSON{Iterations: st.Iterations, Converged: st.Converged, Residual: st.Residual}
 	}
 	if single {
-		writeJSON(w, http.StatusOK, SolveResponse{X: xs[0], Stats: &wire[0]})
+		writeJSON(w, http.StatusOK, SolveResponse{X: xs[0], Stats: &wire[0], Timings: timings})
 		return
 	}
-	writeJSON(w, http.StatusOK, SolveResponse{Xs: xs, BatchStats: wire})
+	writeJSON(w, http.StatusOK, SolveResponse{Xs: xs, BatchStats: wire, Timings: timings})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -239,10 +307,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var nf *NotFoundError
 		if errors.As(err, &nf) {
-			writeError(w, http.StatusNotFound, "%v", err)
+			writeError(w, r, http.StatusNotFound, "%v", err)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)

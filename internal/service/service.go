@@ -14,6 +14,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"strings"
 	"sync"
@@ -22,6 +24,7 @@ import (
 
 	"parlap/internal/chainio"
 	"parlap/internal/graph"
+	"parlap/internal/obs"
 	"parlap/internal/solver"
 )
 
@@ -88,6 +91,11 @@ type Config struct {
 	// critical path) after every successful fresh build. Without it only
 	// SnapshotAll — the shutdown pass — persists chains.
 	SnapshotOnBuild bool
+	// Logger receives the server's structured logs: one line per HTTP
+	// request (with the minted request id), chain build/restore events, and
+	// write-behind snapshot results. Nil discards them — the library stays
+	// silent unless the embedder opts in.
+	Logger *slog.Logger
 }
 
 // Server owns the graph registry. All methods are safe for concurrent use.
@@ -104,10 +112,20 @@ type Server struct {
 	buildSem chan struct{} // build admission slots
 	inflight atomic.Int64
 
-	start     time.Time
-	registers atomic.Int64 // POST /graphs requests accepted
-	cacheHits atomic.Int64 // registrations answered from cache
-	evictions atomic.Int64
+	log *slog.Logger
+	met *metrics
+
+	// ridPrefix/ridSeq mint per-request ids (see nextRequestID).
+	ridPrefix string
+	ridSeq    atomic.Int64
+
+	start        time.Time
+	registers    atomic.Int64 // POST /graphs requests accepted
+	cacheHits    atomic.Int64 // registrations answered from cache
+	evictions    atomic.Int64
+	builds       atomic.Int64 // chains built or restored
+	buildNanos   atomic.Int64 // cumulative build/restore wall time
+	buildWaiting atomic.Int64 // registrations queued for a build slot
 
 	snapWG     sync.WaitGroup // in-flight write-behind snapshot writes
 	snapHits   atomic.Int64   // chains restored from the snapshot store
@@ -143,6 +161,9 @@ type entry struct {
 	solves     atomic.Int64 // solve requests served
 	rhsServed  atomic.Int64 // right-hand sides solved (batch counts each)
 	iterations atomic.Int64 // cumulative outer PCG iterations
+
+	lat     obs.Histogram                // end-to-end solve latency, ns
+	stageNS [obs.NumStages]atomic.Int64  // cumulative per-stage solve time
 }
 
 // New returns a Server with cfg's zero fields defaulted.
@@ -187,14 +208,22 @@ func New(cfg Config) *Server {
 	if cfg.Chain != nil {
 		chain = *cfg.Chain
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	now := time.Now()
 	return &Server{
-		cfg:      cfg,
-		chain:    chain,
-		entries:  make(map[string]*entry),
-		lru:      list.New(),
-		admit:    newAdmitter(cfg.MaxInflight, cfg.MaxInflightPerGraph),
-		buildSem: make(chan struct{}, cfg.MaxConcurrentBuilds),
-		start:    time.Now(),
+		cfg:       cfg,
+		chain:     chain,
+		entries:   make(map[string]*entry),
+		lru:       list.New(),
+		admit:     newAdmitter(cfg.MaxInflight, cfg.MaxInflightPerGraph),
+		buildSem:  make(chan struct{}, cfg.MaxConcurrentBuilds),
+		log:       logger,
+		met:       newMetrics(),
+		ridPrefix: fmt.Sprintf("%08x", uint32(now.UnixNano())),
+		start:     now,
 	}
 }
 
@@ -281,9 +310,12 @@ func (s *Server) Register(ctx context.Context, g *graph.Graph, source string) (e
 	// (register or solve) waits on e.built. Construction is the expensive,
 	// latency-insensitive step, so an admitted build gets the whole worker
 	// budget rather than a solve slot's share.
+	s.buildWaiting.Add(1)
 	select {
 	case s.buildSem <- struct{}{}:
+		s.buildWaiting.Add(-1)
 	case <-ctx.Done():
+		s.buildWaiting.Add(-1)
 		// Remove the entry BEFORE publishing the abort, so concurrent
 		// waiters that re-register get a fresh entry (and a fresh build)
 		// rather than inheriting this registrar's cancellation.
@@ -305,6 +337,18 @@ func (s *Server) Register(ctx context.Context, g *graph.Graph, source string) (e
 	<-s.buildSem
 	e.buildDur = time.Since(t0)
 	e.solver, e.buildErr, e.restored = sv, err, restored
+	if err == nil {
+		s.builds.Add(1)
+		s.buildNanos.Add(e.buildDur.Nanoseconds())
+	}
+	s.log.Info("chain_build",
+		"request_id", requestID(ctx),
+		"graph", id,
+		"n", g.N, "m", g.M(),
+		"restored", restored,
+		"duration_ms", float64(e.buildDur.Microseconds())/1000,
+		"err", err,
+	)
 	if err != nil {
 		// A failed build must not poison the cache key.
 		s.removeFailed(e)
@@ -321,11 +365,20 @@ func (s *Server) Register(ctx context.Context, g *graph.Graph, source string) (e
 			// Write-behind: persisting the freshly built chain must not hold
 			// up the registration (or the waiters on e.built). The goroutine
 			// captures sv directly — the solver is read-only and outlives any
-			// later eviction of the entry.
+			// later eviction of the entry. The registration's request id rides
+			// along so the snapshot log line joins the request's trail.
+			rid := requestID(ctx)
 			s.snapWG.Add(1)
 			go func() {
 				defer s.snapWG.Done()
-				s.snapshotOne(id, sv)
+				t0 := time.Now()
+				serr := s.snapshotOne(id, sv)
+				s.log.Info("snapshot_write_behind",
+					"request_id", rid,
+					"graph", id,
+					"duration_ms", float64(time.Since(t0).Microseconds())/1000,
+					"err", serr,
+				)
 			}()
 		}
 	}
@@ -452,50 +505,70 @@ func (s *Server) recharge(e *entry) {
 // len(bs) == 1 takes the single-RHS path; larger batches share one
 // preconditioner-chain pass per iteration across all columns.
 func (s *Server) Solve(ctx context.Context, id string, bs [][]float64, eps float64) ([][]float64, []solver.SolveStats, error) {
+	xs, sts, _, err := s.solveTraced(ctx, id, bs, eps)
+	return xs, sts, err
+}
+
+// solveTraced is Solve plus the per-request stage trace: queue wait,
+// workspace acquire, outer PCG, per-level preconditioner stages, and the
+// end-to-end total, recorded into the telemetry registry and returned for
+// the ?debug=timings surface. Timing never touches the arithmetic.
+func (s *Server) solveTraced(ctx context.Context, id string, bs [][]float64, eps float64) ([][]float64, []solver.SolveStats, obs.SolveTrace, error) {
+	var tr obs.SolveTrace
+	fail := func(err error) ([][]float64, []solver.SolveStats, obs.SolveTrace, error) {
+		s.met.solveErrors.Add(1)
+		return nil, nil, tr, err
+	}
+	tStart := time.Now()
 	e, ok := s.lookupRef(id)
 	if !ok {
-		return nil, nil, &NotFoundError{ID: id}
+		return fail(&NotFoundError{ID: id})
 	}
 	defer s.release(e)
 	select {
 	case <-e.built:
 	case <-ctx.Done():
-		return nil, nil, ctx.Err()
+		return fail(ctx.Err())
 	}
 	if e.buildErr != nil {
-		return nil, nil, e.buildErr
+		return fail(e.buildErr)
 	}
 	if len(bs) == 0 {
-		return nil, nil, fmt.Errorf("service: empty right-hand-side batch")
+		return fail(fmt.Errorf("service: empty right-hand-side batch"))
 	}
 	if len(bs) > s.cfg.MaxBatch {
-		return nil, nil, fmt.Errorf("service: batch of %d exceeds limit %d", len(bs), s.cfg.MaxBatch)
+		return fail(fmt.Errorf("service: batch of %d exceeds limit %d", len(bs), s.cfg.MaxBatch))
 	}
 	for i, b := range bs {
 		if len(b) != e.n {
-			return nil, nil, fmt.Errorf("service: rhs %d has %d entries, graph has %d vertices", i, len(b), e.n)
+			return fail(fmt.Errorf("service: rhs %d has %d entries, graph has %d vertices", i, len(b), e.n))
 		}
 	}
 	if eps <= 0 {
 		eps = s.cfg.DefaultEps
 	}
+	tQueue := time.Now()
 	if err := s.admit.Acquire(ctx, e.id); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
+	queueNS := time.Since(tQueue).Nanoseconds()
 	occupancy := s.inflight.Add(1)
 	defer func() {
 		s.inflight.Add(-1)
 		s.admit.Release(e.id)
 	}()
 	opt := solver.Options{Workers: s.workersForOccupancy(occupancy)}
-	xs, sts := e.solver.SolveBatchOpts(bs, eps, opt)
+	xs, sts := e.solver.SolveBatchTraced(bs, eps, opt, &tr)
+	tr.QueueNS = queueNS
+	tr.TotalNS = time.Since(tStart).Nanoseconds()
 	e.solves.Add(1)
 	e.rhsServed.Add(int64(len(bs)))
 	for _, st := range sts {
 		e.iterations.Add(int64(st.Iterations))
 	}
+	s.observeSolve(e, &tr, len(bs))
 	s.recharge(e)
-	return xs, sts, nil
+	return xs, sts, tr, nil
 }
 
 // NotFoundError reports an unknown (or evicted) graph id.
@@ -535,6 +608,27 @@ type GraphStats struct {
 	Iterations int64                  `json:"iterations"`
 	BottomSolv int64                  `json:"bottom_solves"`
 	MaxIter    int                    `json:"max_iter"`
+	// Timings summarizes this graph's solve telemetry: latency quantiles
+	// from the same histogram /metrics exports, and cumulative per-stage
+	// solve time (exclusive attribution — cheb+forward+back+bottom
+	// partition the preconditioner time). Omitted until a solve has run.
+	Timings *GraphTimings `json:"timings,omitempty"`
+}
+
+// StageTotalJSON is one stage's cumulative solve time in the stats document.
+type StageTotalJSON struct {
+	Stage   string  `json:"stage"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// GraphTimings is the per-graph timings block of the stats document.
+type GraphTimings struct {
+	Solves int64            `json:"solves_observed"`
+	MeanMS float64          `json:"mean_ms"`
+	P50MS  float64          `json:"p50_ms"`
+	P95MS  float64          `json:"p95_ms"`
+	P99MS  float64          `json:"p99_ms"`
+	Stages []StageTotalJSON `json:"stages"`
 }
 
 // Stats returns the stats document for graph id. ctx bounds the wait on an
@@ -568,6 +662,23 @@ func (s *Server) Stats(ctx context.Context, id string) (*GraphStats, error) {
 		Iterations:     e.iterations.Load(),
 		BottomSolv:     e.solver.Chain.BottomSolves(),
 		MaxIter:        e.solver.MaxIter,
+	}
+	if snap := e.lat.Snapshot(); snap.Count > 0 {
+		toMS := func(ns int64) float64 { return float64(ns) / 1e6 }
+		t := &GraphTimings{
+			Solves: snap.Count,
+			MeanMS: snap.Mean() / 1e6,
+			P50MS:  toMS(snap.Quantile(0.50)),
+			P95MS:  toMS(snap.Quantile(0.95)),
+			P99MS:  toMS(snap.Quantile(0.99)),
+		}
+		for _, stage := range obs.Stages() {
+			t.Stages = append(t.Stages, StageTotalJSON{
+				Stage:   stage.String(),
+				TotalMS: toMS(e.stageNS[stage].Load()),
+			})
+		}
+		st.Timings = t
 	}
 	return st, nil
 }

@@ -8,8 +8,10 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"parlap/internal/graphio"
+	"parlap/internal/obs"
 	"parlap/internal/solver"
 )
 
@@ -33,6 +35,15 @@ var ErrStreamAbort = errors.New("service: stream aborted")
 // It returns the number of rows fully processed. Errors from next or emit
 // abort the stream; rows already emitted stay emitted.
 func (s *Server) SolveStream(ctx context.Context, id string, eps float64,
+	next func() ([]float64, error), emit func(row int, x []float64, st solver.SolveStats) error) (int, error) {
+	rows, err := s.solveStream(ctx, id, eps, next, emit)
+	if err != nil {
+		s.met.solveErrors.Add(1)
+	}
+	return rows, err
+}
+
+func (s *Server) solveStream(ctx context.Context, id string, eps float64,
 	next func() ([]float64, error), emit func(row int, x []float64, st solver.SolveStats) error) (int, error) {
 	// The reference spans the whole stream, not just one window: between
 	// windows the entry may be evicted (it no longer serves lookups), but
@@ -77,10 +88,15 @@ func (s *Server) SolveStream(ctx context.Context, id string, eps float64,
 		}
 		if len(bs) > 0 {
 			// Each window is one admitted solve: the per-graph sharding and
-			// the worker-budget split apply exactly as for a discrete batch.
+			// the worker-budget split apply exactly as for a discrete batch —
+			// and each window records one trace (queue wait included), so a
+			// long stream shows up in the latency histograms window by window.
+			tWin := time.Now()
 			if err := s.admit.Acquire(ctx, e.id); err != nil {
 				return done, err
 			}
+			queueNS := time.Since(tWin).Nanoseconds()
+			var tr obs.SolveTrace
 			xs, sts := func() ([][]float64, []solver.SolveStats) {
 				occupancy := s.inflight.Add(1)
 				// Release under defer (like Server.Solve): a panicking solve
@@ -90,13 +106,18 @@ func (s *Server) SolveStream(ctx context.Context, id string, eps float64,
 					s.admit.Release(e.id)
 				}()
 				opt := solver.Options{Workers: s.workersForOccupancy(occupancy)}
-				return e.solver.SolveBatchOpts(bs, eps, opt)
+				return e.solver.SolveBatchTraced(bs, eps, opt, &tr)
 			}()
+			tr.QueueNS = queueNS
+			tr.TotalNS = time.Since(tWin).Nanoseconds()
 			e.solves.Add(1)
 			e.rhsServed.Add(int64(len(bs)))
 			for _, st := range sts {
 				e.iterations.Add(int64(st.Iterations))
 			}
+			s.observeSolve(e, &tr, len(bs))
+			s.met.streamWindows.Add(1)
+			s.met.streamRows.Add(int64(len(bs)))
 			s.recharge(e)
 			for i := range xs {
 				if err := emit(done+i, xs[i], sts[i]); err != nil {
@@ -126,9 +147,12 @@ type streamSolutionRow struct {
 }
 
 // streamErrorRow ends a broken stream in-band (the HTTP status is already
-// committed once rows have been flushed).
+// committed once rows have been flushed). It carries the same request id as
+// the error envelope and the X-Request-ID header, so a truncated stream can
+// be joined to the server's request log.
 type streamErrorRow struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 	// Rows is how many solution rows were emitted before the failure.
 	Rows int `json:"rows_emitted"`
 }
@@ -142,7 +166,7 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("eps"); raw != "" {
 		v, err := strconv.ParseFloat(raw, 64)
 		if err != nil || v <= 0 {
-			writeError(w, http.StatusBadRequest, "bad eps %q", raw)
+			writeError(w, r, http.StatusBadRequest, "bad eps %q", raw)
 			return
 		}
 		eps = v
@@ -182,18 +206,22 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if headerSent {
 		// Mid-stream failure: the status line is gone; report in-band.
-		_ = enc.Encode(streamErrorRow{Error: err.Error(), Rows: rows})
+		_ = enc.Encode(streamErrorRow{
+			Error:     err.Error(),
+			RequestID: requestID(r.Context()),
+			Rows:      rows,
+		})
 		return
 	}
 	var nf *NotFoundError
 	switch {
 	case errors.As(err, &nf):
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, r, http.StatusNotFound, "%v", err)
 	case errors.Is(err, ErrBuildAborted):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
-		writeError(w, http.StatusServiceUnavailable, "request expired: %v", err)
+		writeError(w, r, http.StatusServiceUnavailable, "request expired: %v", err)
 	default:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"parlap/internal/gen"
+	"parlap/internal/obs"
 )
 
 // The allocation wall for the apply path: a steady-state preconditioner
@@ -31,6 +32,53 @@ func TestPrecondApplyZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state preconditioner application allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// The instrumented solve path must cost nothing on the allocation wall:
+// SolveTraced with a caller-held trace may not allocate more than the
+// untraced SolveOpts baseline (the trace lives in the pooled workspace and
+// the copy-out is a plain struct assignment), and it must actually populate
+// the trace — nonzero outer/preconditioner time, level count, and a stage
+// partition that accounts for the preconditioner total.
+func TestSolveTracedNoExtraAllocs(t *testing.T) {
+	g := gen.Grid2D(32, 32)
+	s, err := NewWithOptions(g, DefaultChainParams(), Options{Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(g.N, 11)
+	const eps = 1e-4
+	opt := Options{Workers: 1}
+	s.SolveOpts(b, eps, opt) // warm the pool (lazy outer scratch growth done)
+	base := testing.AllocsPerRun(10, func() {
+		s.SolveOpts(b, eps, opt)
+	})
+	var tr obs.SolveTrace
+	traced := testing.AllocsPerRun(10, func() {
+		s.SolveTraced(b, eps, opt, &tr)
+	})
+	if traced > base {
+		t.Fatalf("traced solve allocated %.1f objects/op, untraced baseline %.1f", traced, base)
+	}
+	if tr.OuterNS <= 0 || tr.PrecondNS <= 0 || tr.TotalNS < 0 {
+		t.Fatalf("trace not populated: %+v", tr)
+	}
+	if tr.Levels != len(s.Chain.Levels) {
+		t.Fatalf("trace Levels = %d, want %d", tr.Levels, len(s.Chain.Levels))
+	}
+	if tr.OuterNS < tr.PrecondNS {
+		t.Fatalf("OuterNS %d < PrecondNS %d", tr.OuterNS, tr.PrecondNS)
+	}
+	// Exclusive stages partition the preconditioner time; clock granularity
+	// and loop overhead leave a small unattributed remainder, never an excess.
+	sum := tr.StageNS(obs.StageCheb) + tr.StageNS(obs.StageForward) +
+		tr.StageNS(obs.StageBack) + tr.StageNS(obs.StageBottom)
+	if sum > tr.PrecondNS {
+		t.Fatalf("exclusive stages sum to %d > PrecondNS %d", sum, tr.PrecondNS)
+	}
+	if sum <= 0 {
+		t.Fatalf("exclusive stages recorded no time: %+v", tr)
 	}
 }
 

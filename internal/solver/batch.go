@@ -2,8 +2,10 @@ package solver
 
 import (
 	"math"
+	"time"
 
 	"parlap/internal/matrix"
+	"parlap/internal/obs"
 	"parlap/internal/wd"
 )
 
@@ -31,7 +33,9 @@ func (c *Chain) solveLevelBatch(workers, i int, bs [][]float64, ws *workspace) [
 		nb := int64(c.BottomG.N)
 		c.rec.Add(int64(len(bs))*nb*nb, 1)
 		xs := ws.bot.x[:len(bs)]
+		t0 := time.Now()
 		c.Bottom.SolveBatchIntoW(workers, bs, xs, ws.bot.g[:len(bs)])
+		ws.trace.BottomNS += time.Since(t0).Nanoseconds()
 		return xs
 	}
 	return c.chebLevelBatch(workers, i, bs, ws)
@@ -43,11 +47,16 @@ func (c *Chain) applyHBatch(workers, i int, rs [][]float64, ws *workspace) [][]f
 	k := len(rs)
 	lvl := &c.Levels[i]
 	l := &ws.lvl[i]
+	li := obs.LevelIndex(i)
+	t0 := time.Now()
 	lvl.Elim.ForwardRHSBatchIntoW(workers, rs, l.fwdWork[:k], l.fwdCarry[:k], l.fwdRed[:k])
+	ws.trace.FwdNS[li] += time.Since(t0).Nanoseconds()
 	xr := c.solveLevelBatch(workers, i+1, l.fwdRed[:k], ws)
+	t1 := time.Now()
 	zs := l.backX[:k]
 	lvl.Elim.BackSolveBatchIntoW(workers, xr, l.fwdCarry[:k], zs)
 	matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, lvl.CompIdx)
+	ws.trace.BackNS[li] += time.Since(t1).Nanoseconds()
 	c.rec.Add(int64(k)*(int64(len(lvl.Elim.Ops))+int64(len(rs[0]))), int64(lvl.Elim.Rounds)+1)
 	return zs
 }
@@ -55,12 +64,17 @@ func (c *Chain) applyHBatch(workers, i int, rs [][]float64, ws *workspace) [][]f
 // applyHTopBatch applies the whole-chain preconditioner to k residuals into
 // ws and returns the workspace-resident columns.
 func (c *Chain) applyHTopBatch(workers int, rs [][]float64, ws *workspace) [][]float64 {
+	t0 := time.Now()
+	var zs [][]float64
 	if len(c.Levels) == 0 {
-		xs := ws.bot.x[:len(rs)]
-		c.Bottom.SolveBatchIntoW(workers, rs, xs, ws.bot.g[:len(rs)])
-		return xs
+		zs = ws.bot.x[:len(rs)]
+		c.Bottom.SolveBatchIntoW(workers, rs, zs, ws.bot.g[:len(rs)])
+		ws.trace.BottomNS += time.Since(t0).Nanoseconds()
+	} else {
+		zs = c.applyHBatch(workers, 0, rs, ws)
 	}
-	return c.applyHBatch(workers, 0, rs, ws)
+	ws.trace.PrecondNS += time.Since(t0).Nanoseconds()
+	return zs
 }
 
 // PrecondApplyBatchW applies the top-level preconditioner to k residuals in
@@ -100,6 +114,10 @@ func (c *Chain) chebLevelBatch(workers, i int, bs [][]float64, ws *workspace) []
 	xs, rs, ps, aps := l.chebX[:k], l.chebR[:k], l.chebP[:k], l.chebAp[:k]
 	scal := l.scal[:k]
 	n := a.N
+	// Exclusive stage timing, mirroring chebLevel: the recursion's time
+	// lands in deeper levels' slots, not this one's.
+	t0 := time.Now()
+	var innerNS int64
 	for col := 0; col < k; col++ {
 		x := xs[col]
 		for j := 0; j < n; j++ {
@@ -110,7 +128,9 @@ func (c *Chain) chebLevelBatch(workers, i int, bs [][]float64, ws *workspace) []
 	matrix.ProjectOutConstantMaskedBatchIdxW(workers, rs, ci)
 	co := newChebCoeffs(lvl.EigLo, lvl.EigHi)
 	for it := 0; it < lvl.ChebIts; it++ {
+		ta := time.Now()
 		zs := c.applyHBatch(workers, i, rs, ws)
+		innerNS += time.Since(ta).Nanoseconds()
 		matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, ci)
 		alpha, beta, first := co.step(it)
 		if first {
@@ -129,6 +149,7 @@ func (c *Chain) chebLevelBatch(workers, i int, bs [][]float64, ws *workspace) []
 		c.rec.Add(int64(k)*int64(a.NNZ()+6*n), 2)
 	}
 	matrix.ProjectOutConstantMaskedBatchIdxW(workers, xs, ci)
+	ws.trace.ChebNS[obs.LevelIndex(i)] += time.Since(t0).Nanoseconds() - innerNS
 	return xs
 }
 

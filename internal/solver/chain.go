@@ -5,9 +5,11 @@ import (
 	"math"
 	"math/rand"
 	"sync/atomic"
+	"time"
 
 	"parlap/internal/graph"
 	"parlap/internal/matrix"
+	"parlap/internal/obs"
 	"parlap/internal/par"
 	"parlap/internal/wd"
 )
@@ -488,7 +490,9 @@ func (c *Chain) solveLevel(workers, i int, b []float64, ws *workspace) []float64
 		c.bottomSolves.Add(1)
 		nb := int64(c.BottomG.N)
 		c.rec.Add(nb*nb, 1)
+		t0 := time.Now()
 		c.Bottom.SolveIntoW(workers, b, ws.bot.x[0], ws.bot.g[0])
+		ws.trace.BottomNS += time.Since(t0).Nanoseconds()
 		return ws.bot.x[0]
 	}
 	return c.chebLevel(workers, i, b, ws)
@@ -507,6 +511,11 @@ func (c *Chain) chebLevel(workers, i int, b []float64, ws *workspace) []float64 
 	l := &ws.lvl[i]
 	x, r, p, ap := l.chebX[0], l.chebR[0], l.chebP[0], l.chebAp[0]
 	n := a.N
+	// Stage timing: the sweep's own kernel time, EXCLUSIVE of the recursive
+	// preconditioner applications (those attribute to deeper levels' trace
+	// slots), so the per-level stage series partition the apply time.
+	t0 := time.Now()
+	var innerNS int64
 	for j := 0; j < n; j++ {
 		x[j] = 0
 	}
@@ -514,7 +523,9 @@ func (c *Chain) chebLevel(workers, i int, b []float64, ws *workspace) []float64 
 	matrix.ProjectOutConstantMaskedIdxW(workers, r, ci)
 	co := newChebCoeffs(lvl.EigLo, lvl.EigHi)
 	for k := 0; k < lvl.ChebIts; k++ {
+		ta := time.Now()
 		z := c.applyH(workers, i, r, ws)
+		innerNS += time.Since(ta).Nanoseconds()
 		matrix.ProjectOutConstantMaskedIdxW(workers, z, ci)
 		alpha, beta, first := co.step(k)
 		if first {
@@ -528,6 +539,7 @@ func (c *Chain) chebLevel(workers, i int, b []float64, ws *workspace) []float64 
 		c.rec.Add(int64(a.NNZ()+6*n), 2)
 	}
 	matrix.ProjectOutConstantMaskedIdxW(workers, x, ci)
+	ws.trace.ChebNS[obs.LevelIndex(i)] += time.Since(t0).Nanoseconds() - innerNS
 	return x
 }
 
@@ -539,11 +551,16 @@ func (c *Chain) chebLevel(workers, i int, b []float64, ws *workspace) []float64 
 func (c *Chain) applyH(workers, i int, r []float64, ws *workspace) []float64 {
 	lvl := &c.Levels[i]
 	l := &ws.lvl[i]
+	li := obs.LevelIndex(i)
+	t0 := time.Now()
 	lvl.Elim.ForwardRHSIntoW(workers, r, l.fwdWork[0], l.fwdCarry[0], l.fwdRed[0])
+	ws.trace.FwdNS[li] += time.Since(t0).Nanoseconds()
 	xr := c.solveLevel(workers, i+1, l.fwdRed[0], ws)
+	t1 := time.Now()
 	lvl.Elim.BackSolveIntoW(workers, xr, l.fwdCarry[0], l.backX[0])
 	z := l.backX[0]
 	matrix.ProjectOutConstantMaskedIdxW(workers, z, lvl.CompIdx)
+	ws.trace.BackNS[li] += time.Since(t1).Nanoseconds()
 	c.rec.Add(int64(len(lvl.Elim.Ops))+int64(len(r)), int64(lvl.Elim.Rounds)+1)
 	return z
 }
@@ -551,11 +568,17 @@ func (c *Chain) applyH(workers, i int, r []float64, ws *workspace) []float64 {
 // applyHTop applies the whole-chain preconditioner into ws and returns the
 // workspace-resident result (valid until ws is reused).
 func (c *Chain) applyHTop(workers int, r []float64, ws *workspace) []float64 {
+	t0 := time.Now()
+	var z []float64
 	if len(c.Levels) == 0 {
 		c.Bottom.SolveIntoW(workers, r, ws.bot.x[0], ws.bot.g[0])
-		return ws.bot.x[0]
+		z = ws.bot.x[0]
+		ws.trace.BottomNS += time.Since(t0).Nanoseconds()
+	} else {
+		z = c.applyH(workers, 0, r, ws)
 	}
-	return c.applyH(workers, 0, r, ws)
+	ws.trace.PrecondNS += time.Since(t0).Nanoseconds()
+	return z
 }
 
 // PrecondApply exposes one application of the top-level preconditioner

@@ -3,9 +3,11 @@ package solver
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"parlap/internal/graph"
 	"parlap/internal/matrix"
+	"parlap/internal/obs"
 	"parlap/internal/wd"
 )
 
@@ -112,15 +114,34 @@ func (s *Solver) Solve(b []float64, eps float64) ([]float64, SolveStats) {
 // how a serving layer splits a global worker budget across concurrent
 // requests. Results are bitwise identical for every Workers value.
 func (s *Solver) SolveOpts(b []float64, eps float64, opt Options) ([]float64, SolveStats) {
+	return s.SolveTraced(b, eps, opt, nil)
+}
+
+// SolveTraced is SolveOpts with stage timing: when tr is non-nil, the
+// solve's per-stage trace (workspace acquire, outer PCG, preconditioner
+// applications, per-level Chebyshev/forward/back, bottom solves) is copied
+// into it before the pooled workspace is released. Timing reads the clock
+// around the kernels but never touches data values, so results remain
+// bitwise identical to SolveOpts, and the trace copy is a plain struct
+// assignment — the traced path allocates nothing beyond the untraced one.
+func (s *Solver) SolveTraced(b []float64, eps float64, opt Options, tr *obs.SolveTrace) ([]float64, SolveStats) {
 	if eps <= 0 {
 		eps = 1e-8
 	}
 	w := opt.Workers
+	t0 := time.Now()
 	ws := s.ws.get(s.Chain, 1)
+	ws.trace.WorkspaceNS = time.Since(t0).Nanoseconds()
+	ws.trace.Levels = len(s.Chain.Levels)
 	pre := func(r []float64) []float64 {
 		return s.Chain.applyHTop(w, r, ws)
 	}
+	tOuter := time.Now()
 	x, st := pcgFlexible(w, s.Lap, b, pre, s.CompIdx, eps, s.MaxIter, ws, s.rec)
+	ws.trace.OuterNS = time.Since(tOuter).Nanoseconds()
+	if tr != nil {
+		*tr = ws.trace
+	}
 	s.ws.put(ws)
 	return x, st
 }
@@ -140,6 +161,13 @@ func (s *Solver) SolveBatch(bs [][]float64, eps float64) ([][]float64, []SolveSt
 // SolveBatchOpts is SolveBatch with a per-call execution policy; see
 // SolveOpts.
 func (s *Solver) SolveBatchOpts(bs [][]float64, eps float64, opt Options) ([][]float64, []SolveStats) {
+	return s.SolveBatchTraced(bs, eps, opt, nil)
+}
+
+// SolveBatchTraced is SolveBatchOpts with stage timing; the trace covers
+// the whole batch (the chain passes are shared across columns, so per-column
+// attribution does not exist). See SolveTraced.
+func (s *Solver) SolveBatchTraced(bs [][]float64, eps float64, opt Options, tr *obs.SolveTrace) ([][]float64, []SolveStats) {
 	if len(bs) == 0 {
 		return nil, nil
 	}
@@ -147,15 +175,23 @@ func (s *Solver) SolveBatchOpts(bs [][]float64, eps float64, opt Options) ([][]f
 		eps = 1e-8
 	}
 	if len(bs) == 1 {
-		x, st := s.SolveOpts(bs[0], eps, opt)
+		x, st := s.SolveTraced(bs[0], eps, opt, tr)
 		return [][]float64{x}, []SolveStats{st}
 	}
 	w := opt.Workers
+	t0 := time.Now()
 	ws := s.ws.get(s.Chain, len(bs))
+	ws.trace.WorkspaceNS = time.Since(t0).Nanoseconds()
+	ws.trace.Levels = len(s.Chain.Levels)
 	pre := func(rs [][]float64) [][]float64 {
 		return s.Chain.applyHTopBatch(w, rs, ws)
 	}
+	tOuter := time.Now()
 	xs, sts := pcgFlexibleBatch(w, s.Lap, bs, pre, s.CompIdx, eps, s.MaxIter, ws, s.rec)
+	ws.trace.OuterNS = time.Since(tOuter).Nanoseconds()
+	if tr != nil {
+		*tr = ws.trace
+	}
 	s.ws.put(ws)
 	return xs, sts
 }

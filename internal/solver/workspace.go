@@ -3,6 +3,8 @@ package solver
 import (
 	"sync"
 	"sync/atomic"
+
+	"parlap/internal/obs"
 )
 
 // workspace holds every per-solve scratch vector of the chain's apply path
@@ -21,6 +23,13 @@ import (
 type workspace struct {
 	c    *Chain
 	cols int
+
+	// trace is the solve's fixed-slot stage timer. The chain kernels
+	// accumulate per-level nanoseconds into it as they run; keeping it in
+	// the pooled workspace (a plain value, fixed arrays) is what lets the
+	// instrumented steady-state apply path stay at zero heap allocations.
+	// wsPool.get resets it, so every checkout starts a fresh trace.
+	trace obs.SolveTrace
 
 	lvl []levelWS
 	bot bottomWS
@@ -183,6 +192,7 @@ func (p *wsPool) get(c *Chain, k int) *workspace {
 	} else {
 		ws.grow(k)
 	}
+	ws.trace.Reset()
 	ws.charged = ws.bytes()
 	p.raise(p.outstanding.Add(ws.charged))
 	return ws
