@@ -48,10 +48,23 @@ type result struct {
 	BatchWidth   int     `json:"batch_width"`
 	BatchPerRHS  float64 `json:"batch_ms_per_rhs"`
 	BatchSpeedup float64 `json:"batch_per_rhs_speedup"`
+	// Batch is the per-RHS batch sweep: one row per batch width k, each
+	// solving the same k right-hand sides batched and individually, so the
+	// per-RHS speedup trajectory of the block engine is recorded per commit
+	// (CI extracts it into the BENCH_batch artifact).
+	Batch []batchRow `json:"batch"`
 	// Schedule is the calibrated per-level κ schedule (measured spectral
 	// bounds, measured condition numbers, Chebyshev iteration counts) — the
 	// quantities the ROADMAP's numerical-scaling item tracks.
 	Schedule []solver.LevelSchedule `json:"schedule"`
+}
+
+// batchRow is one batch width's measurement: k right-hand sides solved in
+// one block batch vs the same k solved one at a time.
+type batchRow struct {
+	K        int     `json:"k"`
+	PerRHSMS float64 `json:"ms_per_rhs"`
+	Speedup  float64 `json:"per_rhs_speedup"`
 }
 
 type doc struct {
@@ -124,21 +137,39 @@ func main() {
 			solveTimes = append(solveTimes, float64(time.Since(t0).Microseconds())/1000)
 		}
 		res := s.Residual(x, b)
-		// Batched vs single on the SAME right-hand-side set, so the speedup
-		// isolates the chain-pass sharing (per-RHS convergence variance
-		// cancels: each column costs identical iterations either way).
-		bs := make([][]float64, *batchK)
-		for c := range bs {
-			bs[c] = meanFreeRHS(g.N, rng)
+		// Batched vs single on the SAME right-hand-side set per width, so
+		// each speedup isolates the chain-pass sharing (per-RHS convergence
+		// variance cancels: each column costs identical iterations either
+		// way). The sweep widths cover the streaming window sizes the block
+		// engine targets; the legacy batch_* fields report the -batch width.
+		ks := []int{1, 4, 8, 16}
+		if *batchK != 1 && *batchK != 4 && *batchK != 8 && *batchK != 16 {
+			ks = append(ks, *batchK)
 		}
-		t0 = time.Now()
-		for _, bc := range bs {
-			_, _ = s.Solve(bc, *eps)
+		var sweep []batchRow
+		batchMS, singlesMS := 0.0, 0.0
+		for _, k := range ks {
+			bs := make([][]float64, k)
+			for c := range bs {
+				bs[c] = meanFreeRHS(g.N, rng)
+			}
+			t0 = time.Now()
+			for _, bc := range bs {
+				_, _ = s.Solve(bc, *eps)
+			}
+			sMS := float64(time.Since(t0).Microseconds()) / 1000
+			t0 = time.Now()
+			_, _ = s.SolveBatch(bs, *eps)
+			bMS := float64(time.Since(t0).Microseconds()) / 1000
+			br := batchRow{K: k, PerRHSMS: bMS / float64(k)}
+			if bMS > 0 {
+				br.Speedup = sMS / bMS
+			}
+			sweep = append(sweep, br)
+			if k == *batchK {
+				batchMS, singlesMS = bMS, sMS
+			}
 		}
-		singlesMS := float64(time.Since(t0).Microseconds()) / 1000
-		t0 = time.Now()
-		_, _ = s.SolveBatch(bs, *eps)
-		batchMS := float64(time.Since(t0).Microseconds()) / 1000
 		row := result{
 			Topology:     spec,
 			N:            g.N,
@@ -151,6 +182,7 @@ func main() {
 			Residual:     res,
 			BatchWidth:   *batchK,
 			BatchPerRHS:  batchMS / float64(*batchK),
+			Batch:        sweep,
 			Schedule:     s.Chain.Schedule(),
 		}
 		if batchMS > 0 {

@@ -74,6 +74,7 @@ var (
 	kappaGrowth   = flag.Float64("kappa-growth", 0, "override the per-level κ growth factor (0 = default 2)")
 	maxLevels     = flag.Int("max-levels", 0, "override the chain length cap (0 = default 8)")
 	chebSlack     = flag.Float64("cheb-slack", 0, "override the static κ·slack safety envelope on the Chebyshev lower bound (0 = default 1.5)")
+	budgetLiftN   = flag.Int("budget-lift-n", 0, "top-level vertex count past which the Chebyshev work budget lifts to the full measured sqrt(kappa) schedule (0 = default 65536, negative = never lift)")
 	chainDir      = flag.String("chain-dir", "", "directory for persisted chain snapshots; enables restore-on-boot/miss and snapshot-on-shutdown (empty = no persistence)")
 	snapOnBuild   = flag.Bool("snapshot-on-build", true, "with -chain-dir: also persist each chain right after it builds (write-behind), not only at shutdown")
 	drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests and the shutdown snapshot pass")
@@ -109,6 +110,9 @@ func main() {
 	}
 	if *chebSlack > 0 {
 		chain.ChebSlack = *chebSlack
+	}
+	if *budgetLiftN != 0 {
+		chain.BudgetLiftVertices = *budgetLiftN
 	}
 	var store chainio.BlobStore
 	if *chainDir != "" {

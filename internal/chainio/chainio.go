@@ -44,8 +44,12 @@ import (
 )
 
 const (
-	// Version is the current snapshot format version.
-	Version = 1
+	// Version is the current snapshot format version. Version 2 appended
+	// ChainParams.BudgetLiftVertices to the parameter record (the
+	// size-adaptive Chebyshev schedule policy); earlier snapshots are
+	// rejected rather than guessed at — rebuilding a chain is cheap next to
+	// silently restoring a different schedule.
+	Version = 2
 
 	magicLen   = 8
 	trailerLen = sha256.Size
@@ -288,6 +292,7 @@ func encodeParams(w writer, p *solver.ChainParams) {
 	w.f64(p.EigSafety)
 	w.f64(p.ChebBudget)
 	w.i64(p.Seed)
+	w.i64(int64(p.BudgetLiftVertices))
 }
 
 func decodeParams(r *reader, p *solver.ChainParams) {
@@ -309,6 +314,7 @@ func decodeParams(r *reader, p *solver.ChainParams) {
 	p.EigSafety = r.f64()
 	p.ChebBudget = r.f64()
 	p.Seed = r.i64()
+	p.BudgetLiftVertices = int(r.i64())
 }
 
 func encodeGraph(w writer, g *graph.Graph) {

@@ -222,7 +222,7 @@ func TestCorruptionRejected(t *testing.T) {
 
 	t.Run("wrong-version", func(t *testing.T) {
 		mut := append([]byte(nil), data...)
-		mut[magicLen] = 2 // version u32 LE low byte
+		mut[magicLen] = Version + 1 // version u32 LE low byte
 		reseal(mut)
 		if err := decode(mut); !errors.Is(err, ErrVersion) {
 			t.Fatalf("got %v, want ErrVersion", err)

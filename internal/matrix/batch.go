@@ -68,6 +68,66 @@ func Norm2BatchW(workers int, xs [][]float64) []float64 {
 	return out
 }
 
+// DotBatchIntoW is DotBatchW into caller-provided storage: out (length >= k)
+// receives the per-column dots and tmp (length >= k) is chunk-partial
+// scratch. The workers==1 path allocates nothing, which is what lets hot
+// drivers call it per iteration; results stay bitwise identical to DotW per
+// column (same fixed-grain chunk fold).
+func DotBatchIntoW(workers int, xs, ys [][]float64, out, tmp []float64) {
+	k := len(xs)
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		out[0] = DotW(workers, xs[0], ys[0])
+		return
+	}
+	n := len(xs[0])
+	if par.Sequential(workers) {
+		tmp = tmp[:k]
+		for c := range tmp {
+			out[c] = 0
+		}
+		for lo := 0; lo < n; lo += par.ReduceGrain {
+			hi := lo + par.ReduceGrain
+			if hi > n {
+				hi = n
+			}
+			for c := range tmp {
+				tmp[c] = 0
+			}
+			for c := 0; c < k; c++ {
+				x, y := xs[c], ys[c]
+				s := tmp[c]
+				for i := lo; i < hi; i++ {
+					s += x[i] * y[i]
+				}
+				tmp[c] = s
+			}
+			if lo == 0 {
+				copy(out[:k], tmp)
+			} else {
+				for c := 0; c < k; c++ {
+					out[c] += tmp[c]
+				}
+			}
+		}
+		return
+	}
+	copy(out[:k], par.SumFloat64BatchW(workers, n, k, func(i, c int) float64 {
+		return xs[c][i] * ys[c][i]
+	}))
+}
+
+// Norm2BatchIntoW computes each column's Euclidean norm into out; see
+// DotBatchIntoW for the scratch contract.
+func Norm2BatchIntoW(workers int, xs [][]float64, out, tmp []float64) {
+	DotBatchIntoW(workers, xs, xs, out, tmp)
+	for c := range xs {
+		out[c] = math.Sqrt(out[c])
+	}
+}
+
 // AxpyBatchW computes dsts[c] = alphas[c]·xs[c] + ys[c] elementwise (dsts[c]
 // may alias xs[c] or ys[c]).
 func AxpyBatchW(workers int, dsts [][]float64, alphas []float64, xs, ys [][]float64) {
@@ -108,6 +168,15 @@ func CopyVecBatch(xs [][]float64) [][]float64 {
 		out[c] = CopyVec(x)
 	}
 	return out
+}
+
+// CopyVecBatchInto copies every column of src into the matching
+// (pre-allocated, same-length) column of dst — the allocation-free form of
+// CopyVecBatch for pooled column sets.
+func CopyVecBatchInto(dst, src [][]float64) {
+	for c := range src {
+		copy(dst[c], src[c])
+	}
 }
 
 // ProjectOutConstantMaskedBatchW subtracts each column's per-component mean

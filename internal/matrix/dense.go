@@ -194,6 +194,56 @@ func (f *DenseFactor) SolveBatchInto(bs, xs [][]float64) {
 	}
 }
 
+// SolveBlockInto is SolveInto over a contiguous n×k Block: lane c is
+// bitwise identical to SolveInto on lane c (x may alias b; nothing is
+// allocated). The substitution sweeps visit rows in the single kernel's
+// order and fan across the k adjacent lane values at each L entry.
+func (f *DenseFactor) SolveBlockInto(b, x *Block) {
+	k := b.K()
+	if k == 1 {
+		f.SolveInto(b.Vec(), x.Vec())
+		return
+	}
+	n := f.n
+	x.CopyFrom(b)
+	// Forward solve L y = b.
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		for j := 0; j < i; j++ {
+			l := f.l[i*n+j]
+			xj := x.Row(j)
+			for c := 0; c < k; c++ {
+				xi[c] -= l * xj[c]
+			}
+		}
+	}
+	// Diagonal solve D z = y.
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		if math.IsInf(f.d[i], 1) {
+			for c := 0; c < k; c++ {
+				xi[c] = 0
+			}
+		} else {
+			d := f.d[i]
+			for c := 0; c < k; c++ {
+				xi[c] /= d
+			}
+		}
+	}
+	// Backward solve Lᵀ x = z.
+	for i := n - 1; i >= 0; i-- {
+		xi := x.Row(i)
+		for j := i + 1; j < n; j++ {
+			l := f.l[j*n+i]
+			xj := x.Row(j)
+			for c := 0; c < k; c++ {
+				xi[c] -= l * xj[c]
+			}
+		}
+	}
+}
+
 // LaplacianFactor is a dense pseudo-inverse applier for a Laplacian: it
 // grounds the last vertex of each connected component and factors the
 // remaining principal submatrix, then solves and re-centers per component.
@@ -418,4 +468,29 @@ func (lf *LaplacianFactor) SolveBatchIntoW(workers int, bs, xs, gs [][]float64) 
 		}
 	}
 	ProjectOutConstantMaskedBatchIdxW(workers, xs, lf.compIdx)
+}
+
+// SolveBlockIntoW is SolveIntoW over a contiguous n×k Block: lane c is
+// bitwise identical to SolveIntoW on lane c. x (n×k, fully overwritten) and
+// the grounded scratch g (GroundedLen()×k) must not alias b; scratch
+// (length >= 2k) serves the in-place projections. Nothing is allocated for
+// a connected bottom graph.
+func (lf *LaplacianFactor) SolveBlockIntoW(workers int, b, x, g *Block, scratch []float64) {
+	k := b.K()
+	if k == 1 {
+		lf.SolveIntoW(workers, b.Vec(), x.Vec(), g.Vec())
+		return
+	}
+	x.CopyFrom(b)
+	ProjectOutConstantMaskedBlockIdxW(workers, x, lf.compIdx, scratch)
+	for i, v := range lf.keep {
+		copy(g.Row(i), x.Row(v))
+	}
+	lf.factor.SolveBlockInto(g, g)
+	x.Zero()
+	for i, v := range lf.keep {
+		copy(x.Row(v), g.Row(i))
+	}
+	// Grounded vertices already hold 0; re-center per component.
+	ProjectOutConstantMaskedBlockIdxW(workers, x, lf.compIdx, scratch)
 }

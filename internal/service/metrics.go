@@ -23,8 +23,14 @@ import (
 // metrics is the server-wide telemetry state. Per-graph series live on the
 // entry (they must die with the eviction); everything global lives here.
 type metrics struct {
-	latency obs.Histogram                // end-to-end solve latency, ns
-	stage   [obs.NumStages]obs.Histogram // per-stage solve latency, ns
+	latency obs.Histogram // end-to-end solve latency, ns
+	// rhsLatency is the per-right-hand-side view of the same solves: a
+	// batch or stream window's wall time divided evenly across its k rows,
+	// observed once per row. Request latency alone makes a batch look k×
+	// slower than it is; this series is the per-RHS cost that batching
+	// actually buys down.
+	rhsLatency obs.Histogram
+	stage      [obs.NumStages]obs.Histogram // per-stage solve latency, ns
 
 	solves      atomic.Int64 // solve calls served (a stream window counts one)
 	rhs         atomic.Int64 // right-hand sides solved
@@ -62,6 +68,13 @@ func (s *Server) observeSolve(e *entry, tr *obs.SolveTrace, rhs int) {
 	s.met.rhs.Add(int64(rhs))
 	s.met.latency.Observe(tr.TotalNS)
 	e.lat.Observe(tr.TotalNS)
+	if rhs > 0 {
+		per := tr.TotalNS / int64(rhs)
+		for i := 0; i < rhs; i++ {
+			s.met.rhsLatency.Observe(per)
+			e.rhsLat.Observe(per)
+		}
+	}
 	for _, st := range obs.Stages() {
 		if st == obs.StageTotal {
 			continue // the end-to-end histogram already covers it
@@ -168,6 +181,7 @@ type graphRow struct {
 	hits    int64
 	bytes   int64
 	lat     obs.Snapshot
+	rhsLat  obs.Snapshot
 	stageNS [obs.NumStages]int64
 }
 
@@ -197,6 +211,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			hits:   e.hits.Load(),
 			bytes:  e.bytes,
 			lat:    e.lat.Snapshot(),
+			rhsLat: e.rhsLat.Snapshot(),
 		}
 		for i := range row.stageNS {
 			row.stageNS[i] = e.stageNS[i].Load()
@@ -264,6 +279,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Latency histograms: end-to-end, then per stage.
 	e.Header("parlap_solve_duration_seconds", "End-to-end solve latency (admission queue included).", "histogram")
 	e.Histogram("parlap_solve_duration_seconds", nil, s.met.latency.Snapshot())
+	e.Header("parlap_rhs_duration_seconds", "Per-right-hand-side solve latency: a batch/stream window's time divided across its rows.", "histogram")
+	e.Histogram("parlap_rhs_duration_seconds", nil, s.met.rhsLatency.Snapshot())
 	e.Header("parlap_solve_stage_duration_seconds", "Per-stage solve latency, exclusive attribution.", "histogram")
 	for _, st := range obs.Stages() {
 		if st == obs.StageTotal {
@@ -294,6 +311,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, row := range rows {
 		e.Histogram("parlap_graph_solve_duration_seconds",
 			[]obs.Label{{K: "graph", V: row.id}}, row.lat)
+	}
+	e.Header("parlap_graph_rhs_duration_seconds", "Per-right-hand-side solve latency per graph.", "histogram")
+	for _, row := range rows {
+		e.Histogram("parlap_graph_rhs_duration_seconds",
+			[]obs.Label{{K: "graph", V: row.id}}, row.rhsLat)
 	}
 	e.Header("parlap_graph_stage_seconds_total", "Cumulative per-stage solve time per graph.", "counter")
 	for _, row := range rows {

@@ -151,8 +151,8 @@ type entry struct {
 	solver   *solver.Solver
 	buildErr error
 	buildDur time.Duration
-	levels   int  // chain depth (set once, after build; survives reclaim)
-	restored bool // chain came from a snapshot, not a fresh build
+	levels   int   // chain depth (set once, after build; survives reclaim)
+	restored bool  // chain came from a snapshot, not a fresh build
 	bytes    int64 // footprint currently charged against cacheBytes (Server.mu)
 	refs     int   // active solves/streams/stat reads (Server.mu)
 	evicted  bool  // dropped from the cache; reclaim when refs hits 0 (Server.mu)
@@ -162,8 +162,9 @@ type entry struct {
 	rhsServed  atomic.Int64 // right-hand sides solved (batch counts each)
 	iterations atomic.Int64 // cumulative outer PCG iterations
 
-	lat     obs.Histogram                // end-to-end solve latency, ns
-	stageNS [obs.NumStages]atomic.Int64  // cumulative per-stage solve time
+	lat     obs.Histogram               // end-to-end solve latency, ns
+	rhsLat  obs.Histogram               // per-RHS latency, ns (window time / batch width)
+	stageNS [obs.NumStages]atomic.Int64 // cumulative per-stage solve time
 }
 
 // New returns a Server with cfg's zero fields defaulted.
@@ -621,14 +622,23 @@ type StageTotalJSON struct {
 	TotalMS float64 `json:"total_ms"`
 }
 
-// GraphTimings is the per-graph timings block of the stats document.
+// GraphTimings is the per-graph timings block of the stats document. The
+// first quantile set is per solve REQUEST (a batch or stream window counts
+// once); the RHS* set is per right-hand side — the window's time divided
+// evenly across its rows — which is the number to compare against
+// single-solve latency when judging what batching buys.
 type GraphTimings struct {
-	Solves int64            `json:"solves_observed"`
-	MeanMS float64          `json:"mean_ms"`
-	P50MS  float64          `json:"p50_ms"`
-	P95MS  float64          `json:"p95_ms"`
-	P99MS  float64          `json:"p99_ms"`
-	Stages []StageTotalJSON `json:"stages"`
+	Solves  int64            `json:"solves_observed"`
+	MeanMS  float64          `json:"mean_ms"`
+	P50MS   float64          `json:"p50_ms"`
+	P95MS   float64          `json:"p95_ms"`
+	P99MS   float64          `json:"p99_ms"`
+	RHS     int64            `json:"rhs_observed"`
+	RHSMean float64          `json:"rhs_mean_ms"`
+	RHSP50  float64          `json:"rhs_p50_ms"`
+	RHSP95  float64          `json:"rhs_p95_ms"`
+	RHSP99  float64          `json:"rhs_p99_ms"`
+	Stages  []StageTotalJSON `json:"stages"`
 }
 
 // Stats returns the stats document for graph id. ctx bounds the wait on an
@@ -672,6 +682,13 @@ func (s *Server) Stats(ctx context.Context, id string) (*GraphStats, error) {
 			P95MS:  toMS(snap.Quantile(0.95)),
 			P99MS:  toMS(snap.Quantile(0.99)),
 		}
+		if rs := e.rhsLat.Snapshot(); rs.Count > 0 {
+			t.RHS = rs.Count
+			t.RHSMean = rs.Mean() / 1e6
+			t.RHSP50 = toMS(rs.Quantile(0.50))
+			t.RHSP95 = toMS(rs.Quantile(0.95))
+			t.RHSP99 = toMS(rs.Quantile(0.99))
+		}
 		for _, stage := range obs.Stages() {
 			t.Stages = append(t.Stages, StageTotalJSON{
 				Stage:   stage.String(),
@@ -707,7 +724,7 @@ type ServerStats struct {
 	SnapshotWrites int64 `json:"snapshot_writes"`
 	SnapshotErrors int64 `json:"snapshot_errors"`
 	Inflight       int64 `json:"inflight"`
-	MaxInflight   int   `json:"max_inflight"`
+	MaxInflight    int   `json:"max_inflight"`
 	// MaxInflightPerGraph is the per-graph solve-slot cap applied while
 	// other graphs are waiting (the admission sharding).
 	MaxInflightPerGraph int `json:"max_inflight_per_graph"`
@@ -728,12 +745,12 @@ func (s *Server) Health() *ServerStats {
 		Status: "ok", Graphs: n, MaxGraphs: s.cfg.MaxGraphs,
 		CacheBytes: bytes, MaxCacheBytes: s.cfg.MaxCacheBytes,
 		Registers: s.registers.Load(), CacheHits: s.cacheHits.Load(),
-		Evictions:      s.evictions.Load(),
-		SnapshotHits:   s.snapHits.Load(),
-		SnapshotMisses: s.snapMisses.Load(),
-		SnapshotWrites: s.snapWrites.Load(),
-		SnapshotErrors: s.snapErrors.Load(),
-		Inflight:       s.inflight.Load(),
+		Evictions:           s.evictions.Load(),
+		SnapshotHits:        s.snapHits.Load(),
+		SnapshotMisses:      s.snapMisses.Load(),
+		SnapshotWrites:      s.snapWrites.Load(),
+		SnapshotErrors:      s.snapErrors.Load(),
+		Inflight:            s.inflight.Load(),
 		MaxInflight:         s.cfg.MaxInflight,
 		MaxInflightPerGraph: s.cfg.MaxInflightPerGraph,
 		Workers:             s.cfg.Workers,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"parlap/internal/graphio"
+	"parlap/internal/matrix"
 	"parlap/internal/obs"
 	"parlap/internal/solver"
 )
@@ -67,6 +68,12 @@ func (s *Server) solveStream(ctx context.Context, id string, eps float64,
 	window := s.cfg.StreamWindow
 	done := 0
 	bs := make([][]float64, 0, window)
+	// The window's contiguous RHS/solution blocks and per-row stats persist
+	// across windows: SolveBlockTraced reshapes them in place, so a long
+	// stream allocates its solve scratch once, on the first window, and the
+	// per-window steady state stays allocation-free inside the solver.
+	var rhsBlk, outBlk matrix.Block
+	var stsBuf []solver.SolveStats
 	for {
 		// Gather one window.
 		bs = bs[:0]
@@ -97,7 +104,11 @@ func (s *Server) solveStream(ctx context.Context, id string, eps float64,
 			}
 			queueNS := time.Since(tWin).Nanoseconds()
 			var tr obs.SolveTrace
-			xs, sts := func() ([][]float64, []solver.SolveStats) {
+			rhsBlk.Reshape(e.n, len(bs))
+			for c, b := range bs {
+				rhsBlk.SetCol(c, b)
+			}
+			sts := func() []solver.SolveStats {
 				occupancy := s.inflight.Add(1)
 				// Release under defer (like Server.Solve): a panicking solve
 				// must not leak the slot or skew the occupancy split.
@@ -106,8 +117,9 @@ func (s *Server) solveStream(ctx context.Context, id string, eps float64,
 					s.admit.Release(e.id)
 				}()
 				opt := solver.Options{Workers: s.workersForOccupancy(occupancy)}
-				return e.solver.SolveBatchTraced(bs, eps, opt, &tr)
+				return e.solver.SolveBlockTraced(&rhsBlk, &outBlk, eps, opt, &tr, stsBuf)
 			}()
+			stsBuf = sts[:0]
 			tr.QueueNS = queueNS
 			tr.TotalNS = time.Since(tWin).Nanoseconds()
 			e.solves.Add(1)
@@ -119,8 +131,12 @@ func (s *Server) solveStream(ctx context.Context, id string, eps float64,
 			s.met.streamWindows.Add(1)
 			s.met.streamRows.Add(int64(len(bs)))
 			s.recharge(e)
-			for i := range xs {
-				if err := emit(done+i, xs[i], sts[i]); err != nil {
+			for i := range sts {
+				// Fresh vector per row: emit callbacks may retain it past the
+				// next window's reuse of the block.
+				x := make([]float64, e.n)
+				outBlk.ColInto(i, x)
+				if err := emit(done+i, x, sts[i]); err != nil {
 					return done + i, fmt.Errorf("%w: emit row %d: %v", ErrStreamAbort, done+i, err)
 				}
 			}
@@ -171,6 +187,13 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 		}
 		eps = v
 	}
+	// The stream interleaves reading RHS rows with writing solution rows on
+	// one HTTP/1.x connection, which Go serves half-duplex by default: the
+	// first response write closes the unread request body (clients sending
+	// Expect: 100-continue, like curl, then break on the second window).
+	// Full duplex keeps the body readable; on HTTP/2 (inherently full
+	// duplex) the call reports unsupported and is safely ignored.
+	_ = http.NewResponseController(w).EnableFullDuplex()
 	// Row length is validated against the graph's vertex count inside
 	// SolveStream; the scanner only bounds row bytes here.
 	sc := graphio.NewVectorScanner(r.Body, 0, s.cfg.MaxStreamRowBytes)

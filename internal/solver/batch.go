@@ -11,67 +11,84 @@ import (
 
 // The batched solve path: the whole preconditioner-chain recursion — the
 // elimination-log replays, the per-level Chebyshev sweeps, the CSR
-// mat-vecs, the dense bottom solve — operates on k right-hand-side columns
-// per pass, amortizing every traversal of the chain's (large, shared)
-// static structure across the batch. Column arithmetic is never mixed:
-// each batched kernel performs, per column, exactly the floating-point
-// operations of its single-vector form in the same order, so SolveBatch
-// returns bitwise-identical vectors to k independent Solve calls. Columns
-// that converge (or break down) drop out of the active set exactly where
-// the single-column driver would have stopped.
+// mat-vecs, the dense bottom solve — operates on one contiguous n×k
+// matrix.Block per stage, amortizing every traversal of the chain's (large,
+// shared) static structure across the batch and streaming the k lane values
+// per vertex from adjacent memory (the vertex-major interleaved layout).
+// Lane arithmetic is never mixed: each block kernel performs, per lane,
+// exactly the floating-point operations of its single-vector form in the
+// same order, so SolveBlock returns bitwise-identical vectors to k
+// independent Solve calls. Lanes that converge (or break down) are
+// compacted out of the block — pure data movement via Block.KeepLanes —
+// exactly where the single-column driver would have stopped.
 //
-// Scratch lives in the same per-solve workspace as the single path (one
-// column set per batch column), so steady-state batch applications reuse
-// buffers across iterations and stream windows.
+// Scratch lives in the same per-solve workspace as the single path (each
+// buffer a Block reshaped to the batch width), so steady-state batch
+// applications reuse backing arrays across iterations and stream windows
+// and the Workers:1 apply path performs zero heap allocations.
 
-// solveLevelBatch is solveLevel over k columns: one Chebyshev sweep (or one
-// bottom direct solve) serving the whole batch. Results are workspace
-// column views.
-func (c *Chain) solveLevelBatch(workers, i int, bs [][]float64, ws *workspace) [][]float64 {
+// solveLevelBlock is solveLevel over the k lanes of bs: one Chebyshev sweep
+// (or one bottom direct solve) serving the whole batch. The result is a
+// workspace-resident block.
+func (c *Chain) solveLevelBlock(workers, i int, bs *matrix.Block, ws *workspace) *matrix.Block {
 	if i >= len(c.Levels) {
-		c.bottomSolves.Add(int64(len(bs)))
+		k := bs.K()
+		c.bottomSolves.Add(int64(k))
 		nb := int64(c.BottomG.N)
-		c.rec.Add(int64(len(bs))*nb*nb, 1)
-		xs := ws.bot.x[:len(bs)]
+		c.rec.Add(int64(k)*nb*nb, 1)
 		t0 := time.Now()
-		c.Bottom.SolveBatchIntoW(workers, bs, xs, ws.bot.g[:len(bs)])
+		c.Bottom.SolveBlockIntoW(workers, bs, &ws.bot.x, &ws.bot.g, ws.bot.scal)
 		ws.trace.BottomNS += time.Since(t0).Nanoseconds()
-		return xs
+		return &ws.bot.x
 	}
-	return c.chebLevelBatch(workers, i, bs, ws)
+	return c.chebLevelBlock(workers, i, bs, ws)
 }
 
-// applyHBatch is applyH over k columns: one forward/backward replay of the
-// elimination log per batch instead of per RHS.
-func (c *Chain) applyHBatch(workers, i int, rs [][]float64, ws *workspace) [][]float64 {
-	k := len(rs)
+// applyHBlock is applyH over the k lanes of r: one forward/backward replay
+// of the elimination log per batch instead of per RHS.
+func (c *Chain) applyHBlock(workers, i int, r *matrix.Block, ws *workspace) *matrix.Block {
 	lvl := &c.Levels[i]
 	l := &ws.lvl[i]
 	li := obs.LevelIndex(i)
 	t0 := time.Now()
-	lvl.Elim.ForwardRHSBatchIntoW(workers, rs, l.fwdWork[:k], l.fwdCarry[:k], l.fwdRed[:k])
+	lvl.Elim.ForwardRHSBlockIntoW(workers, r, &l.fwdWork, &l.fwdCarry, &l.fwdRed)
 	ws.trace.FwdNS[li] += time.Since(t0).Nanoseconds()
-	xr := c.solveLevelBatch(workers, i+1, l.fwdRed[:k], ws)
+	xr := c.solveLevelBlock(workers, i+1, &l.fwdRed, ws)
 	t1 := time.Now()
-	zs := l.backX[:k]
-	lvl.Elim.BackSolveBatchIntoW(workers, xr, l.fwdCarry[:k], zs)
-	matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, lvl.CompIdx)
+	lvl.Elim.BackSolveBlockIntoW(workers, xr, &l.fwdCarry, &l.backX)
+	matrix.ProjectOutConstantMaskedBlockIdxW(workers, &l.backX, lvl.CompIdx, l.scal)
 	ws.trace.BackNS[li] += time.Since(t1).Nanoseconds()
-	c.rec.Add(int64(k)*(int64(len(lvl.Elim.Ops))+int64(len(rs[0]))), int64(lvl.Elim.Rounds)+1)
-	return zs
+	c.rec.Add(int64(r.K())*(int64(len(lvl.Elim.Ops))+int64(r.N())), int64(lvl.Elim.Rounds)+1)
+	return &l.backX
 }
 
-// applyHTopBatch applies the whole-chain preconditioner to k residuals into
-// ws and returns the workspace-resident columns.
-func (c *Chain) applyHTopBatch(workers int, rs [][]float64, ws *workspace) [][]float64 {
+// applyHTopBlock applies the whole-chain preconditioner to the k lanes of rs
+// into ws and returns the workspace-resident block. It reshapes the chain
+// scratch to rs's width when the batch narrowed (lane dropout in the outer
+// driver), which on a warm workspace is slice-header work only.
+func (c *Chain) applyHTopBlock(workers int, rs *matrix.Block, ws *workspace) *matrix.Block {
+	k := rs.K()
+	if ws.cols != k {
+		ws.grow(k)
+	}
+	if k == 1 {
+		// Single-lane batches run the plain path (which counts the apply
+		// itself); the result buffer is the same workspace block either way.
+		c.applyHTop(workers, rs.Vec(), ws)
+		if len(c.Levels) == 0 {
+			return &ws.bot.x
+		}
+		return &ws.lvl[0].backX
+	}
+	c.precondApplies.Add(1)
 	t0 := time.Now()
-	var zs [][]float64
+	var zs *matrix.Block
 	if len(c.Levels) == 0 {
-		zs = ws.bot.x[:len(rs)]
-		c.Bottom.SolveBatchIntoW(workers, rs, zs, ws.bot.g[:len(rs)])
+		c.Bottom.SolveBlockIntoW(workers, rs, &ws.bot.x, &ws.bot.g, ws.bot.scal)
+		zs = &ws.bot.x
 		ws.trace.BottomNS += time.Since(t0).Nanoseconds()
 	} else {
-		zs = c.applyHBatch(workers, 0, rs, ws)
+		zs = c.applyHBlock(workers, 0, rs, ws)
 	}
 	ws.trace.PrecondNS += time.Since(t0).Nanoseconds()
 	return zs
@@ -82,238 +99,287 @@ func (c *Chain) applyHTopBatch(workers int, rs [][]float64, ws *workspace) [][]f
 // column; the returned columns are freshly allocated (caller-owned). Safe
 // for concurrent use (the Chain is read-only after build).
 func (c *Chain) PrecondApplyBatchW(workers int, rs [][]float64) [][]float64 {
-	ws := c.ws.get(c, len(rs))
-	zs := c.applyHTopBatch(workers, rs, ws)
-	out := matrix.CopyVecBatch(zs)
+	k := len(rs)
+	if k == 0 {
+		return nil
+	}
+	n := len(rs[0])
+	ws := c.ws.get(c, k)
+	var rb matrix.Block
+	rb.Reshape(n, k)
+	for col, r := range rs {
+		rb.SetCol(col, r)
+	}
+	zs := c.applyHTopBlock(workers, &rb, ws)
+	out := make([][]float64, k)
+	for col := range out {
+		out[col] = make([]float64, n)
+		zs.ColInto(col, out[col])
+	}
 	c.ws.put(ws)
 	return out
 }
 
-// fillScalar broadcasts v into dst (scratch for the batch AXPY kernels,
-// whose per-column scalars here are column-independent).
-func fillScalar(dst []float64, v float64) {
-	for i := range dst {
-		dst[i] = v
-	}
-}
-
-// chebLevelBatch runs chebLevel's fixed-degree preconditioned Chebyshev
-// iteration on k columns at once. The recurrence scalars depend only on the
+// chebLevelBlock runs chebLevel's fixed-degree preconditioned Chebyshev
+// iteration on k lanes at once. The recurrence scalars depend only on the
 // spectral interval and the iteration index — never on the data — so one
-// scalar schedule drives all columns and each column reproduces the
-// single-column iteration bitwise.
-func (c *Chain) chebLevelBatch(workers, i int, bs [][]float64, ws *workspace) [][]float64 {
-	k := len(bs)
+// scalar schedule drives all lanes and each lane reproduces the
+// single-column iteration bitwise. The direction/iterate updates and the
+// mat-vec/residual updates are fused (ChebUpdateBlockW, MulVecAxpyBlockW),
+// sweeping the n×k working set twice per iteration instead of four times.
+func (c *Chain) chebLevelBlock(workers, i int, bs *matrix.Block, ws *workspace) *matrix.Block {
+	k := bs.K()
+	l := &ws.lvl[i]
 	if k == 1 {
-		return [][]float64{c.chebLevel(workers, i, bs[0], ws)}
+		c.chebLevel(workers, i, bs.Vec(), ws)
+		return &l.chebX
 	}
 	lvl := &c.Levels[i]
 	a := lvl.Lap
 	ci := lvl.CompIdx
-	l := &ws.lvl[i]
-	xs, rs, ps, aps := l.chebX[:k], l.chebR[:k], l.chebP[:k], l.chebAp[:k]
-	scal := l.scal[:k]
+	x, r, p, ap := &l.chebX, &l.chebR, &l.chebP, &l.chebAp
 	n := a.N
 	// Exclusive stage timing, mirroring chebLevel: the recursion's time
 	// lands in deeper levels' slots, not this one's.
 	t0 := time.Now()
 	var innerNS int64
-	for col := 0; col < k; col++ {
-		x := xs[col]
-		for j := 0; j < n; j++ {
-			x[j] = 0
-		}
-		copy(rs[col], bs[col])
-	}
-	matrix.ProjectOutConstantMaskedBatchIdxW(workers, rs, ci)
+	x.Zero()
+	r.CopyFrom(bs)
+	matrix.ProjectOutConstantMaskedBlockIdxW(workers, r, ci, l.scal)
 	co := newChebCoeffs(lvl.EigLo, lvl.EigHi)
 	for it := 0; it < lvl.ChebIts; it++ {
 		ta := time.Now()
-		zs := c.applyHBatch(workers, i, rs, ws)
+		z := c.applyHBlock(workers, i, r, ws)
 		innerNS += time.Since(ta).Nanoseconds()
-		matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, ci)
+		matrix.ProjectOutConstantMaskedBlockIdxW(workers, z, ci, l.scal)
 		alpha, beta, first := co.step(it)
-		if first {
-			for col := 0; col < k; col++ {
-				copy(ps[col], zs[col])
-			}
-		} else {
-			fillScalar(scal, beta)
-			matrix.AxpyBatchW(workers, ps, scal, ps, zs)
-		}
-		fillScalar(scal, alpha)
-		matrix.AxpyBatchW(workers, xs, scal, ps, xs)
-		a.MulVecBatchW(workers, ps, aps)
-		fillScalar(scal, -alpha)
-		matrix.AxpyBatchW(workers, rs, scal, aps, rs)
+		matrix.ChebUpdateBlockW(workers, p, z, beta, x, alpha, first)
+		a.MulVecAxpyBlockW(workers, p, ap, -alpha, r)
 		c.rec.Add(int64(k)*int64(a.NNZ()+6*n), 2)
 	}
-	matrix.ProjectOutConstantMaskedBatchIdxW(workers, xs, ci)
+	matrix.ProjectOutConstantMaskedBlockIdxW(workers, x, ci, l.scal)
 	ws.trace.ChebNS[obs.LevelIndex(i)] += time.Since(t0).Nanoseconds() - innerNS
-	return xs
+	return x
 }
 
-// gatherCols views the columns of src selected by idx (no copies — columns
-// are independent slices, so a sub-batch is just a slice of pointers).
-func gatherCols(src [][]float64, idx []int) [][]float64 {
-	out := make([][]float64, len(idx))
-	for i, c := range idx {
-		out[i] = src[c]
+// finishBlockLane retires one lane of the outer driver's iterate block: its
+// column is gathered into the plain scratch vector col, given the single
+// driver's final projection, and scattered into the caller-owned output
+// column. Using the single-vector projection kernel on a contiguous copy
+// keeps the finished value bitwise identical to pcgFlexible's exit path.
+func finishBlockLane(workers int, x *matrix.Block, lane int, ci *matrix.CompIndex, col []float64, out *matrix.Block, outCol int) {
+	k := x.K()
+	xd := x.Data()
+	for v := range col {
+		col[v] = xd[v*k+lane]
 	}
-	return out
+	matrix.ProjectOutConstantMaskedIdxW(workers, col, ci)
+	out.SetCol(outCol, col)
 }
 
-// pcgFlexibleBatch runs pcgFlexible on k right-hand sides, sharing one
-// preconditioner-chain pass per iteration across all still-active columns.
-// Every column follows the exact operation sequence of the single-column
-// driver — same kernels, same order, same break points — so xs[c] is
-// bitwise identical to pcgFlexible on bs[c]. Columns leave the active set
-// when they converge or the preconditioner breaks down for them, exactly
-// where pcgFlexible would have returned. ws supplies the iteration scratch
-// (nil allocates fresh buffers, the baseline drivers' path).
-func pcgFlexibleBatch(workers int, a *matrix.Sparse, bs [][]float64,
-	precond func([][]float64) [][]float64, ci *matrix.CompIndex,
-	tol float64, maxIter int, ws *workspace, rec *wd.Recorder) ([][]float64, []SolveStats) {
-	k := len(bs)
+// pcgFlexibleBlock runs pcgFlexible on the k0 lanes of rhs, sharing one
+// preconditioner-chain pass per iteration across all still-active lanes.
+// Every lane follows the exact operation sequence of the single-column
+// driver — same kernels, same order, same break points — so out's column c
+// is bitwise identical to pcgFlexible on rhs's column c. Lanes leave the
+// active block via KeepLanes compaction (pure data movement — surviving
+// lanes' arithmetic is untouched) when they converge or the preconditioner
+// breaks down for them, exactly where pcgFlexible would have returned; a
+// retiring lane is finished (projected and written to out) at that moment.
+//
+// out must be shaped n×k0 by the caller and is fully overwritten. stats
+// must hold k0 zeroed entries. All scratch comes from ws (ensureOuter), so
+// the Workers:1 steady state allocates nothing.
+func pcgFlexibleBlock(workers int, a *matrix.Sparse, chain *Chain, rhs *matrix.Block,
+	ci *matrix.CompIndex, tol float64, maxIter int, ws *workspace, rec *wd.Recorder,
+	out *matrix.Block, stats []SolveStats) {
 	n := a.N
-	xs := make([][]float64, k)
-	stats := make([]SolveStats, k)
-	for c := range xs {
-		xs[c] = make([]float64, n)
-	}
-	var aps, rs, prevRs, diffBuf, ps [][]float64
-	var scal []float64
-	if ws != nil {
-		ws.ensureOuter(n)
-		aps, rs, prevRs = ws.pcgAp[:k], ws.pcgR[:k], ws.pcgPrev[:k]
-		diffBuf, ps, scal = ws.pcgDiff[:k], ws.pcgP[:k], ws.pcgScal[:k]
-	} else {
-		aps, rs, prevRs = newCols(k, n), newCols(k, n), newCols(k, n)
-		diffBuf, ps, scal = newCols(k, n), newCols(k, n), make([]float64, k)
-	}
-	for c := range bs {
-		copy(rs[c], bs[c])
-	}
-	matrix.ProjectOutConstantMaskedBatchIdxW(workers, rs, ci)
-	bnorms := matrix.Norm2BatchW(workers, rs)
-	// needsProject marks columns whose x must be projected on exit (every
-	// exit path of the single driver except the zero-RHS early return).
-	needsProject := make([]bool, k)
-	var active []int
-	for c := 0; c < k; c++ {
+	k0 := rhs.K()
+	out.Zero()
+	ws.ensureOuter(n, k0)
+	// Per-lane scalar scratch: 13 k0-sized lanes packed into pcgScal.
+	scal := ws.pcgScal
+	bnorms := scal[0:k0]
+	rzs := scal[k0 : 2*k0]
+	alphas := scal[2*k0 : 3*k0]
+	negAlphas := scal[3*k0 : 4*k0]
+	paps := scal[4*k0 : 5*k0]
+	norms := scal[5*k0 : 6*k0]
+	betas := scal[6*k0 : 7*k0]
+	zdiffs := scal[7*k0 : 8*k0]
+	newRzs := scal[8*k0 : 9*k0]
+	rrs := scal[9*k0 : 10*k0]
+	dotTmp := scal[10*k0 : 11*k0]
+	projScratch := scal[11*k0 : 13*k0]
+	laneCol := ws.pcgLane[0:k0] // original output column of each live lane
+	keep := ws.pcgLane[k0 : 2*k0]
+	col := ws.pcgCol[:n]
+
+	R := &ws.pcgR
+	R.Reshape(n, k0)
+	R.CopyFrom(rhs)
+	matrix.ProjectOutConstantMaskedBlockIdxW(workers, R, ci, projScratch)
+	matrix.Norm2BlockIntoW(workers, R, bnorms, dotTmp)
+	// Zero right-hand sides converge immediately with x = 0, unprojected,
+	// like the single driver's early return; everything else becomes a lane.
+	lanes := 0
+	for c := 0; c < k0; c++ {
 		if bnorms[c] == 0 {
-			stats[c].Converged = true // x stays zero, like the single driver
+			stats[c].Converged = true
 			continue
 		}
-		needsProject[c] = true
-		active = append(active, c)
+		keep[lanes] = c
+		laneCol[lanes] = c
+		bnorms[lanes] = bnorms[c] // in-place compaction: lanes <= c always
+		lanes++
 	}
-	rzs := make([]float64, k)
-	if len(active) > 0 {
-		zs := precond(gatherCols(rs, active))
-		matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, ci)
-		dots := matrix.DotBatchW(workers, gatherCols(rs, active), zs)
-		for i, c := range active {
-			copy(ps[c], zs[i])
-			rzs[c] = dots[i]
-			copy(prevRs[c], rs[c])
+	finish := func() {
+		w, dep := rec.Work(), rec.Depth()
+		for c := range stats {
+			stats[c].Work, stats[c].Depth = w, dep
 		}
 	}
-	for it := 0; it < maxIter && len(active) > 0; it++ {
-		for _, c := range active {
-			stats[c].Iterations = it + 1
+	if lanes == 0 {
+		finish()
+		return
+	}
+	if lanes < k0 {
+		R.KeepLanes(keep[:lanes])
+	}
+
+	X := &ws.pcgX
+	X.Reshape(n, lanes)
+	X.Zero()
+	Z := chain.applyHTopBlock(workers, R, ws)
+	matrix.ProjectOutConstantMaskedBlockIdxW(workers, Z, ci, projScratch)
+	matrix.DotBlockIntoW(workers, R, Z, rzs, dotTmp)
+	P := &ws.pcgP
+	P.Reshape(n, lanes)
+	P.CopyFrom(Z)
+	PrevR := &ws.pcgPrev
+	PrevR.Reshape(n, lanes)
+	PrevR.CopyFrom(R)
+	AP := &ws.pcgAp
+	Diff := &ws.pcgDiff
+
+	for it := 0; it < maxIter && lanes > 0; it++ {
+		for j := 0; j < lanes; j++ {
+			stats[laneCol[j]].Iterations = it + 1
 		}
-		actP := gatherCols(ps, active)
-		actAP := gatherCols(aps, active)
-		a.MulVecBatchW(workers, actP, actAP)
-		paps := matrix.DotBatchW(workers, actP, actAP)
-		// Columns whose preconditioner broke positive-definiteness stop here.
-		alive := active[:0:len(active)]
-		alphas := scal[:0]
-		for i, c := range active {
-			pap := paps[i]
+		AP.Reshape(n, lanes)
+		a.MulVecBlockW(workers, P, AP)
+		matrix.DotBlockIntoW(workers, P, AP, paps, dotTmp)
+		// Lanes whose preconditioner broke positive-definiteness stop here,
+		// with x as of BEFORE this iteration's update (the single driver's
+		// break point). Survivors get their step size.
+		nk := 0
+		for j := 0; j < lanes; j++ {
+			pap := paps[j]
 			if pap <= 0 || math.IsNaN(pap) {
 				continue
 			}
-			alive = append(alive, c)
-			alphas = append(alphas, rzs[c]/pap)
+			alphas[nk] = rzs[j] / pap
+			keep[nk] = j
+			nk++
 		}
-		active = alive
-		if len(active) == 0 {
-			break
+		if nk < lanes {
+			lanes = compactLanes(workers, keep[:nk], lanes, X, ci, col, out, laneCol, rzs, bnorms,
+				R, PrevR, P, AP) // AP is consumed by the residual update below
+			if lanes == 0 {
+				break
+			}
 		}
-		matrix.AxpyBatchW(workers, gatherCols(xs, active), alphas, gatherCols(ps, active), gatherCols(xs, active))
-		negAlphas := make([]float64, len(alphas))
-		for i := range alphas {
-			negAlphas[i] = -alphas[i]
+		matrix.AxpyBlockW(workers, X, alphas[:lanes], P, X)
+		for j := 0; j < lanes; j++ {
+			negAlphas[j] = -alphas[j]
 		}
-		matrix.AxpyBatchW(workers, gatherCols(rs, active), negAlphas, gatherCols(aps, active), gatherCols(rs, active))
-		norms := matrix.Norm2BatchW(workers, gatherCols(rs, active))
-		rec.Add(int64(len(active))*int64(a.NNZ()+10*n), 2)
-		alive = active[:0:len(active)]
-		for i, c := range active {
-			res := norms[i] / bnorms[c]
-			stats[c].Residual = res
+		matrix.AxpyBlockW(workers, R, negAlphas[:lanes], AP, R)
+		matrix.Norm2BlockIntoW(workers, R, norms, dotTmp)
+		rec.Add(int64(lanes)*int64(a.NNZ()+10*n), 2)
+		nk = 0
+		for j := 0; j < lanes; j++ {
+			res := norms[j] / bnorms[j]
+			stats[laneCol[j]].Residual = res
 			if res <= tol {
-				stats[c].Converged = true
+				stats[laneCol[j]].Converged = true
 				continue
 			}
-			alive = append(alive, c)
+			keep[nk] = j
+			nk++
 		}
-		active = alive
-		if len(active) == 0 {
-			break
+		if nk < lanes {
+			// AP is NOT compacted: the next iteration fully overwrites it.
+			lanes = compactLanes(workers, keep[:nk], lanes, X, ci, col, out, laneCol, rzs, bnorms,
+				R, PrevR, P)
+			if lanes == 0 {
+				break
+			}
 		}
-		// One chain pass for every still-active column.
-		zs := precond(gatherCols(rs, active))
-		matrix.ProjectOutConstantMaskedBatchIdxW(workers, zs, ci)
-		diffs := gatherCols(diffBuf, active)
-		matrix.SubIntoBatchW(workers, diffs, gatherCols(rs, active), gatherCols(prevRs, active))
-		zdiffs := matrix.DotBatchW(workers, zs, diffs)
-		newRzs := matrix.DotBatchW(workers, gatherCols(rs, active), zs)
-		betas := make([]float64, len(active))
-		var fallback []int // active positions needing the unpreconditioned direction
-		for i, c := range active {
-			beta := zdiffs[i] / rzs[c]
+		// One chain pass for every still-active lane.
+		Z = chain.applyHTopBlock(workers, R, ws)
+		matrix.ProjectOutConstantMaskedBlockIdxW(workers, Z, ci, projScratch)
+		Diff.Reshape(n, lanes)
+		matrix.SubIntoBlockW(workers, Diff, R, PrevR)
+		matrix.DotBlockIntoW(workers, Z, Diff, zdiffs, dotTmp)
+		matrix.DotBlockIntoW(workers, R, Z, newRzs, dotTmp)
+		nfall := 0 // lanes needing the unpreconditioned fallback direction
+		for j := 0; j < lanes; j++ {
+			beta := zdiffs[j] / rzs[j]
 			if beta < 0 || math.IsNaN(beta) {
 				beta = 0 // restart
 			}
-			betas[i] = beta
-			rzs[c] = newRzs[i]
-			if rzs[c] <= 0 || math.IsNaN(rzs[c]) {
-				fallback = append(fallback, i)
+			betas[j] = beta
+			rzs[j] = newRzs[j]
+			if rzs[j] <= 0 || math.IsNaN(rzs[j]) {
+				keep[nfall] = j
+				nfall++
 			}
 		}
-		if len(fallback) > 0 {
-			fbCols := make([]int, len(fallback))
-			for j, i := range fallback {
-				fbCols[j] = active[i]
+		if nfall > 0 {
+			matrix.DotBlockIntoW(workers, R, R, rrs, dotTmp)
+			zd, rd := Z.Data(), R.Data()
+			zk := Z.K()
+			for fi := 0; fi < nfall; fi++ {
+				j := keep[fi]
+				rzs[j] = rrs[j]
+				for v := 0; v < n; v++ { // z lane j ← r lane j (Z is chain scratch)
+					zd[v*zk+j] = rd[v*zk+j]
+				}
 			}
-			fbRs := gatherCols(rs, fbCols)
-			rrs := matrix.DotBatchW(workers, fbRs, fbRs)
-			for j, i := range fallback {
-				c := active[i]
-				rzs[c] = rrs[j]
-				copy(zs[i], rs[c]) // zs[i] is chain (or fresh) scratch: safe to overwrite
-			}
 		}
-		matrix.AxpyBatchW(workers, gatherCols(ps, active), betas, gatherCols(ps, active), zs)
-		for _, c := range active {
-			copy(prevRs[c], rs[c])
+		matrix.AxpyBlockW(workers, P, betas[:lanes], P, Z)
+		PrevR.CopyFrom(R)
+	}
+	// maxIter exhausted: remaining lanes finish with their current iterate.
+	for j := 0; j < lanes; j++ {
+		finishBlockLane(workers, X, j, ci, col, out, laneCol[j])
+	}
+	finish()
+}
+
+// compactLanes retires every lane NOT listed in keep — finishing its output
+// column — and compacts the listed blocks and per-lane scalars down to the
+// survivors via KeepLanes (pure data movement; surviving lanes' values are
+// untouched). keep must be ascending. Returns the new lane count.
+func compactLanes(workers int, keep []int, lanes int, x *matrix.Block, ci *matrix.CompIndex,
+	col []float64, out *matrix.Block, laneCol []int, rzs, bnorms []float64,
+	blocks ...*matrix.Block) int {
+	ki := 0
+	for j := 0; j < lanes; j++ {
+		if ki < len(keep) && keep[ki] == j {
+			ki++
+			continue
 		}
+		finishBlockLane(workers, x, j, ci, col, out, laneCol[j])
 	}
-	var project []int
-	for c := 0; c < k; c++ {
-		if needsProject[c] {
-			project = append(project, c)
-		}
+	x.KeepLanes(keep)
+	for _, b := range blocks {
+		b.KeepLanes(keep)
 	}
-	if len(project) > 0 {
-		matrix.ProjectOutConstantMaskedBatchIdxW(workers, gatherCols(xs, project), ci)
+	for i, j := range keep {
+		laneCol[i] = laneCol[j]
+		rzs[i] = rzs[j]
+		bnorms[i] = bnorms[j]
 	}
-	w, dep := rec.Work(), rec.Depth()
-	for c := range stats {
-		stats[c].Work, stats[c].Depth = w, dep
-	}
-	return xs, stats
+	return len(keep)
 }

@@ -113,10 +113,11 @@ func TestSolveBatchZeroRHS(t *testing.T) {
 
 // TestSolveBatchSharesChainPasses verifies the amortization claim behind
 // SolveBatch: one preconditioner-chain pass per PCG iteration serves the
-// whole batch. It drives pcgFlexibleBatch directly with a counting
-// preconditioner: the number of batched chain invocations must equal the
-// iteration count of the slowest column (+1 for the init pass) — NOT k
-// times it, which is what k independent solves would cost.
+// whole batch. The chain's PrecondApplies counter increments once per
+// top-level apply regardless of batch width, so the count consumed by a
+// batched solve must equal the iteration count of the slowest column (+1
+// for the init pass) — NOT k times it, which is what k independent solves
+// would cost.
 func TestSolveBatchSharesChainPasses(t *testing.T) {
 	g := gen.Grid2D(24, 24)
 	s, err := New(g, DefaultChainParams(), nil)
@@ -128,12 +129,9 @@ func TestSolveBatchSharesChainPasses(t *testing.T) {
 	for c := range bs {
 		bs[c] = randRHS(g.N, int64(200+c))
 	}
-	passes := 0
-	pre := func(rs [][]float64) [][]float64 {
-		passes++
-		return s.Chain.PrecondApplyBatchW(0, rs)
-	}
-	_, sts := pcgFlexibleBatch(0, s.Lap, bs, pre, s.CompIdx, 1e-7, s.MaxIter, nil, s.rec)
+	before := s.Chain.PrecondApplies()
+	_, sts := s.SolveBatch(bs, 1e-7)
+	passes := int(s.Chain.PrecondApplies() - before)
 	maxIters := 0
 	for c := range sts {
 		if !sts[c].Converged {

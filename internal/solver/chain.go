@@ -71,25 +71,37 @@ type ChainParams struct {
 	// growth with n (the measured ⌈√κ⌉ schedule binds before the budget on
 	// well-sparsified levels). See calibrate.
 	ChebBudget float64
-	Seed       int64
+	// BudgetLiftVertices lifts the ChebBudget work-balance cap on chains
+	// whose TOP level has at least this many vertices, letting every level
+	// run its full measured ⌈√κ⌉ Chebyshev schedule. At small sizes the
+	// budget wins: the outer PCG loop is cheap, so weak inner solves trade
+	// well. At large sizes each outer iteration sweeps the full top-level
+	// working set from DRAM, so the balance inverts — spending the measured
+	// iteration count inside the (smaller, cache-resident) deeper levels
+	// cuts outer iterations where they are most expensive. 0 means the
+	// default threshold (65536 vertices, ~256×256 grid); negative disables
+	// the lift entirely (budget always applies).
+	BudgetLiftVertices int
+	Seed               int64
 }
 
 // DefaultChainParams returns the settings used by the public solver API.
 func DefaultChainParams() ChainParams {
 	return ChainParams{
-		Sparsify:          DefaultSparsifyParams(),
-		BottomFloor:       100,
-		MaxBottomVertices: 1500,
-		MaxLevels:         8,
-		ShrinkRetry:       0.5,
-		KappaGrowth:       2,
-		ChebSlack:         1.5,
-		MaxChebIts:        24,
-		MinChebIts:        4,
-		CalibIters:        16,
-		EigSafety:         1.2,
-		ChebBudget:        3,
-		Seed:              1,
+		Sparsify:           DefaultSparsifyParams(),
+		BottomFloor:        100,
+		MaxBottomVertices:  1500,
+		MaxLevels:          8,
+		ShrinkRetry:        0.5,
+		KappaGrowth:        2,
+		ChebSlack:          1.5,
+		MaxChebIts:         24,
+		MinChebIts:         4,
+		CalibIters:         16,
+		EigSafety:          1.2,
+		ChebBudget:         3,
+		BudgetLiftVertices: 65536,
+		Seed:               1,
 	}
 }
 
@@ -139,7 +151,12 @@ type Chain struct {
 	Opt     Options // runtime execution policy threaded into every kernel
 
 	bottomSolves atomic.Int64
-	rec          *wd.Recorder
+	// precondApplies counts top-level preconditioner applications — one per
+	// applyHTop/applyHTopBlock call regardless of batch width, so a k-column
+	// block apply that shares every chain pass across lanes counts once
+	// where k single applies would count k times.
+	precondApplies atomic.Int64
+	rec            *wd.Recorder
 	// ws pools per-solve workspaces for the public PrecondApply entry
 	// points (the Solver keeps its own pool for full solves). Like the
 	// bottomSolves counter it is internally synchronized and exempt from
@@ -150,6 +167,12 @@ type Chain struct {
 // BottomSolves returns the number of bottom-level direct solves performed
 // so far — the quantity Π√κᵢ that Lemma 6.6's depth bound counts.
 func (c *Chain) BottomSolves() int64 { return c.bottomSolves.Load() }
+
+// PrecondApplies returns the number of top-level preconditioner applications
+// performed so far. A batched apply counts ONE regardless of its width —
+// the ratio of right-hand sides served to PrecondApplies is the chain-pass
+// sharing the batch engine exists for.
+func (c *Chain) PrecondApplies() int64 { return c.precondApplies.Load() }
 
 // BuildChain constructs the preconditioner chain for the Laplacian graph g
 // with the default execution policy. The recorder (optional) accumulates
@@ -188,6 +211,9 @@ func BuildChainOpts(g *graph.Graph, p ChainParams, opt Options, rec *wd.Recorder
 	}
 	if p.ChebBudget <= 0 {
 		p.ChebBudget = 3
+	}
+	if p.BudgetLiftVertices == 0 {
+		p.BudgetLiftVertices = 65536
 	}
 	bottomEdges := p.BottomSizeEdges
 	if bottomEdges <= 0 {
@@ -292,6 +318,10 @@ func (c *Chain) calibrate(rng *rand.Rand) {
 	w := c.Opt.Workers
 	p := &c.Params
 	ws := newWorkspace(c, 1)
+	// Size-adaptive schedule policy: past the lift threshold the work-balance
+	// budget stops binding and every level runs its measured ⌈√κ⌉ count (see
+	// ChainParams.BudgetLiftVertices for the rationale).
+	lift := p.BudgetLiftVertices > 0 && c.Levels[0].G.N >= p.BudgetLiftVertices
 	// Work-balance budget per level from the measured shrink. lvl.ChebIts
 	// still holds the static ⌈√(κ·slack)⌉ cap from the build loop.
 	budget := make([]int, len(c.Levels))
@@ -321,7 +351,9 @@ func (c *Chain) calibrate(rng *rand.Rand) {
 			lvl.EigHi = p.EigSafety
 			lvl.EigLo = lvl.EigHi / (lvl.Kappa * p.ChebSlack)
 			lvl.KappaMeasured = 0
-			lvl.ChebIts = budget[i]
+			if !lift {
+				lvl.ChebIts = budget[i]
+			}
 			continue
 		}
 		lvl.KappaMeasured = hi / lo
@@ -340,7 +372,7 @@ func (c *Chain) calibrate(rng *rand.Rand) {
 		}
 		lvl.EigLo = measLo
 		its := int(math.Ceil(math.Sqrt(lvl.EigHi / lvl.EigLo)))
-		if its > budget[i] && i > 0 {
+		if its > budget[i] && i > 0 && !lift {
 			its = budget[i]
 		}
 		if its > p.MaxChebIts {
@@ -491,9 +523,9 @@ func (c *Chain) solveLevel(workers, i int, b []float64, ws *workspace) []float64
 		nb := int64(c.BottomG.N)
 		c.rec.Add(nb*nb, 1)
 		t0 := time.Now()
-		c.Bottom.SolveIntoW(workers, b, ws.bot.x[0], ws.bot.g[0])
+		c.Bottom.SolveIntoW(workers, b, ws.bot.x.Vec(), ws.bot.g.Vec())
 		ws.trace.BottomNS += time.Since(t0).Nanoseconds()
-		return ws.bot.x[0]
+		return ws.bot.x.Vec()
 	}
 	return c.chebLevel(workers, i, b, ws)
 }
@@ -509,7 +541,7 @@ func (c *Chain) chebLevel(workers, i int, b []float64, ws *workspace) []float64 
 	a := lvl.Lap
 	ci := lvl.CompIdx
 	l := &ws.lvl[i]
-	x, r, p, ap := l.chebX[0], l.chebR[0], l.chebP[0], l.chebAp[0]
+	x, r, p, ap := l.chebX.Vec(), l.chebR.Vec(), l.chebP.Vec(), l.chebAp.Vec()
 	n := a.N
 	// Stage timing: the sweep's own kernel time, EXCLUSIVE of the recursive
 	// preconditioner applications (those attribute to deeper levels' trace
@@ -553,12 +585,12 @@ func (c *Chain) applyH(workers, i int, r []float64, ws *workspace) []float64 {
 	l := &ws.lvl[i]
 	li := obs.LevelIndex(i)
 	t0 := time.Now()
-	lvl.Elim.ForwardRHSIntoW(workers, r, l.fwdWork[0], l.fwdCarry[0], l.fwdRed[0])
+	lvl.Elim.ForwardRHSIntoW(workers, r, l.fwdWork.Vec(), l.fwdCarry.Vec(), l.fwdRed.Vec())
 	ws.trace.FwdNS[li] += time.Since(t0).Nanoseconds()
-	xr := c.solveLevel(workers, i+1, l.fwdRed[0], ws)
+	xr := c.solveLevel(workers, i+1, l.fwdRed.Vec(), ws)
 	t1 := time.Now()
-	lvl.Elim.BackSolveIntoW(workers, xr, l.fwdCarry[0], l.backX[0])
-	z := l.backX[0]
+	lvl.Elim.BackSolveIntoW(workers, xr, l.fwdCarry.Vec(), l.backX.Vec())
+	z := l.backX.Vec()
 	matrix.ProjectOutConstantMaskedIdxW(workers, z, lvl.CompIdx)
 	ws.trace.BackNS[li] += time.Since(t1).Nanoseconds()
 	c.rec.Add(int64(len(lvl.Elim.Ops))+int64(len(r)), int64(lvl.Elim.Rounds)+1)
@@ -568,11 +600,12 @@ func (c *Chain) applyH(workers, i int, r []float64, ws *workspace) []float64 {
 // applyHTop applies the whole-chain preconditioner into ws and returns the
 // workspace-resident result (valid until ws is reused).
 func (c *Chain) applyHTop(workers int, r []float64, ws *workspace) []float64 {
+	c.precondApplies.Add(1)
 	t0 := time.Now()
 	var z []float64
 	if len(c.Levels) == 0 {
-		c.Bottom.SolveIntoW(workers, r, ws.bot.x[0], ws.bot.g[0])
-		z = ws.bot.x[0]
+		c.Bottom.SolveIntoW(workers, r, ws.bot.x.Vec(), ws.bot.g.Vec())
+		z = ws.bot.x.Vec()
 		ws.trace.BottomNS += time.Since(t0).Nanoseconds()
 	} else {
 		z = c.applyH(workers, 0, r, ws)

@@ -99,9 +99,9 @@ func pcgFlexible(workers int, a *matrix.Sparse, b []float64, precond func([]floa
 	x := make([]float64, n)
 	var r, p, ap, prevR, diff []float64
 	if ws != nil {
-		ws.ensureOuter(n)
-		r, p, ap = ws.pcgR[0], ws.pcgP[0], ws.pcgAp[0]
-		prevR, diff = ws.pcgPrev[0], ws.pcgDiff[0]
+		ws.ensureOuter(n, 1)
+		r, p, ap = ws.pcgR.Vec(), ws.pcgP.Vec(), ws.pcgAp.Vec()
+		prevR, diff = ws.pcgPrev.Vec(), ws.pcgDiff.Vec()
 	} else {
 		r, p, ap = make([]float64, n), make([]float64, n), make([]float64, n)
 		prevR, diff = make([]float64, n), make([]float64, n)

@@ -1,0 +1,6 @@
+//go:build !race
+
+package solver
+
+// raceDetectorEnabled mirrors the -race build tag; see race_enabled_test.go.
+const raceDetectorEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package solver
+
+// raceDetectorEnabled mirrors the -race build tag: under the race detector
+// sync.Pool intentionally drops items (its race hack), so pooled
+// steady-state paths allocate and the zero-allocation walls that go
+// through the pool cannot hold.
+const raceDetectorEnabled = true

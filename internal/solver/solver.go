@@ -166,34 +166,81 @@ func (s *Solver) SolveBatchOpts(bs [][]float64, eps float64, opt Options) ([][]f
 
 // SolveBatchTraced is SolveBatchOpts with stage timing; the trace covers
 // the whole batch (the chain passes are shared across columns, so per-column
-// attribution does not exist). See SolveTraced.
+// attribution does not exist). See SolveTraced. It is a staging wrapper over
+// SolveBlockTraced: the slice columns are packed into a contiguous block,
+// solved, and unpacked into freshly allocated output columns.
 func (s *Solver) SolveBatchTraced(bs [][]float64, eps float64, opt Options, tr *obs.SolveTrace) ([][]float64, []SolveStats) {
 	if len(bs) == 0 {
 		return nil, nil
-	}
-	if eps <= 0 {
-		eps = 1e-8
 	}
 	if len(bs) == 1 {
 		x, st := s.SolveTraced(bs[0], eps, opt, tr)
 		return [][]float64{x}, []SolveStats{st}
 	}
+	k := len(bs)
+	n := len(bs[0])
+	var rhs, out matrix.Block
+	rhs.Reshape(n, k)
+	for c, b := range bs {
+		rhs.SetCol(c, b)
+	}
+	sts := s.SolveBlockTraced(&rhs, &out, eps, opt, tr, nil)
+	xs := make([][]float64, k)
+	for c := range xs {
+		xs[c] = make([]float64, n)
+		out.ColInto(c, xs[c])
+	}
+	return xs, sts
+}
+
+// SolveBlockTraced is the allocation-free batched entry point: the k lanes
+// of rhs are solved in one block PCG run (one contiguous pass through the
+// preconditioner chain per iteration serving every still-active lane) into
+// out, which is reshaped to rhs's shape and fully overwritten. Lane c is
+// bitwise identical to Solve on rhs's column c for every Workers setting.
+//
+// sts is reused for the returned stats when its capacity allows, so a
+// steady-state caller (the streaming driver) that holds rhs, out and sts
+// across windows performs zero heap allocations per solve at Workers:1 for
+// k ≥ 2. (k == 1 delegates to SolveTraced, which allocates its result
+// vector; single-RHS callers use Solve directly.)
+func (s *Solver) SolveBlockTraced(rhs, out *matrix.Block, eps float64, opt Options, tr *obs.SolveTrace, sts []SolveStats) []SolveStats {
+	k := rhs.K()
+	if cap(sts) >= k {
+		sts = sts[:k]
+		for i := range sts {
+			sts[i] = SolveStats{}
+		}
+	} else {
+		sts = make([]SolveStats, k)
+	}
+	if k == 0 {
+		return sts
+	}
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	n := rhs.N()
+	out.Reshape(n, k)
+	if k == 1 {
+		x, st := s.SolveTraced(rhs.Vec(), eps, opt, tr)
+		copy(out.Vec(), x)
+		sts[0] = st
+		return sts
+	}
 	w := opt.Workers
 	t0 := time.Now()
-	ws := s.ws.get(s.Chain, len(bs))
+	ws := s.ws.get(s.Chain, k)
 	ws.trace.WorkspaceNS = time.Since(t0).Nanoseconds()
 	ws.trace.Levels = len(s.Chain.Levels)
-	pre := func(rs [][]float64) [][]float64 {
-		return s.Chain.applyHTopBatch(w, rs, ws)
-	}
 	tOuter := time.Now()
-	xs, sts := pcgFlexibleBatch(w, s.Lap, bs, pre, s.CompIdx, eps, s.MaxIter, ws, s.rec)
+	pcgFlexibleBlock(w, s.Lap, s.Chain, rhs, s.CompIdx, eps, s.MaxIter, ws, s.rec, out, sts)
 	ws.trace.OuterNS = time.Since(tOuter).Nanoseconds()
 	if tr != nil {
 		*tr = ws.trace
 	}
 	s.ws.put(ws)
-	return xs, sts
+	return sts
 }
 
 // SolveChebyshev is the paper-faithful solver: top-level preconditioned

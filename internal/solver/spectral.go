@@ -49,7 +49,7 @@ func (c *Chain) lanczosBounds(workers, i, iters int, rng *rand.Rand, ws *workspa
 	lvl := &c.Levels[i]
 	n := lvl.G.N
 	l := &ws.lvl[i]
-	v, vPrev, u, z := l.chebX[0], l.chebR[0], l.chebP[0], l.chebAp[0]
+	v, vPrev, u, z := l.chebX.Vec(), l.chebR.Vec(), l.chebP.Vec(), l.chebAp.Vec()
 
 	// Start vector: random normal, projected onto range(A) per component.
 	for j := 0; j < n; j++ {

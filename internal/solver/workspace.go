@@ -4,22 +4,25 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"parlap/internal/matrix"
 	"parlap/internal/obs"
 )
 
-// workspace holds every per-solve scratch vector of the chain's apply path
-// and the outer PCG driver: per level the Chebyshev recurrence vectors, the
+// workspace holds every per-solve scratch buffer of the chain's apply path
+// and the outer PCG driver: per level the Chebyshev recurrence blocks, the
 // elimination forward/back buffers, at the bottom the dense-solve pair, and
-// (lazily) the outer iteration's vectors. One workspace serves one
-// Solve/SolveBatch/stream-window at a time; a wsPool (sync.Pool) on the
+// (lazily) the outer iteration's blocks. One workspace serves one
+// Solve/SolveBlock/stream-window at a time; a wsPool (sync.Pool) on the
 // Solver and on the Chain reuses them across requests, so steady-state
 // preconditioner applications allocate nothing.
 //
 // Every buffer is fully overwritten before it is read on each use — the
 // chain's kernels either copy into them or write every slot — so a recycled
 // workspace produces bitwise-identical results to a fresh one, preserving
-// the Chain/Solver equivalence contracts. Buffers are column-major over the
-// batch width: the single-RHS path uses column 0.
+// the Chain/Solver equivalence contracts. Scratch is held as contiguous
+// matrix.Block multi-vectors (vertex-major interleaved); grow reshapes them
+// in place to the batch width of the current solve, and the single-RHS path
+// runs at width 1 and views each block as a plain vector.
 type workspace struct {
 	c    *Chain
 	cols int
@@ -39,43 +42,50 @@ type workspace struct {
 	charged int64
 
 	// outer PCG scratch, built lazily by ensureOuter (chain-only workspaces
-	// never pay for it).
-	outerN                              int
-	pcgR, pcgAp, pcgPrev, pcgDiff, pcgP [][]float64
-	pcgScal                             []float64
+	// never pay for it). pcgScal packs the block driver's per-lane scalar
+	// scratch (dots, norms, step sizes, projection partials); pcgLane its
+	// lane bookkeeping (original column per lane + the compaction keep
+	// list); pcgCol a single plain column for finishing dropped lanes.
+	outerN                                    int
+	pcgX, pcgR, pcgAp, pcgPrev, pcgDiff, pcgP matrix.Block
+	pcgScal                                   []float64
+	pcgLane                                   []int
+	pcgCol                                    []float64
 }
 
-// levelWS is one level's scratch: the Chebyshev recurrence vectors (sized to
+// levelWS is one level's scratch: the Chebyshev recurrence blocks (sized to
 // the level's vertex count), the elimination replay buffers and the
 // back-substitution output (which is also what applyH returns).
 type levelWS struct {
-	chebX, chebR, chebP, chebAp [][]float64 // n_i
-	fwdWork                     [][]float64 // n_i
-	fwdCarry                    [][]float64 // len(Elim.Ops)
-	fwdRed                      [][]float64 // len(Elim.Keep)
-	backX                       [][]float64 // n_i
-	scal                        []float64   // per-column Chebyshev scalars
+	chebX, chebR, chebP, chebAp matrix.Block // n_i × k
+	fwdWork                     matrix.Block // n_i × k
+	fwdCarry                    matrix.Block // len(Elim.Ops) × k
+	fwdRed                      matrix.Block // len(Elim.Keep) × k
+	backX                       matrix.Block // n_i × k
+	scal                        []float64    // 2k projection scratch
 }
 
-// bottomWS is the dense bottom solve's scratch: the solution vector and the
+// bottomWS is the dense bottom solve's scratch: the solution block and the
 // grounded right-hand side.
 type bottomWS struct {
-	x, g [][]float64
+	x, g matrix.Block
+	scal []float64 // 2k projection scratch
 }
 
-func newCols(k, n int) [][]float64 {
-	out := make([][]float64, k)
-	for c := range out {
-		out[c] = make([]float64, n)
+// growFloats returns buf resized to length k, reusing its backing when
+// capacity allows; contents are undefined.
+func growFloats(buf []float64, k int) []float64 {
+	if cap(buf) < k {
+		return make([]float64, k)
 	}
-	return out
+	return buf[:k]
 }
 
-func growCols(buf [][]float64, k, n int) [][]float64 {
-	for len(buf) < k {
-		buf = append(buf, make([]float64, n))
+func growInts(buf []int, k int) []int {
+	if cap(buf) < k {
+		return make([]int, k)
 	}
-	return buf
+	return buf[:k]
 }
 
 // newWorkspace builds a workspace for k columns over chain c.
@@ -86,10 +96,14 @@ func newWorkspace(c *Chain, k int) *workspace {
 	return ws
 }
 
-// grow ensures the workspace covers k columns (existing columns are kept —
-// growing never reallocates a column another caller could hold).
+// grow reshapes the chain-level scratch to exactly k columns. Reshape reuses
+// each block's backing array whenever capacity allows, so width changes on a
+// pooled workspace are slice-header work, not allocation, once the widest
+// batch has been seen. Width must be exact (not merely "at least k"): the
+// interleaved layout bakes the lane stride into every block, so a stale
+// wider shape would misindex.
 func (ws *workspace) grow(k int) {
-	if k <= ws.cols {
+	if k == ws.cols {
 		return
 	}
 	c := ws.c
@@ -97,78 +111,71 @@ func (ws *workspace) grow(k int) {
 		lvl := &c.Levels[i]
 		n := lvl.G.N
 		l := &ws.lvl[i]
-		l.chebX = growCols(l.chebX, k, n)
-		l.chebR = growCols(l.chebR, k, n)
-		l.chebP = growCols(l.chebP, k, n)
-		l.chebAp = growCols(l.chebAp, k, n)
-		l.fwdWork = growCols(l.fwdWork, k, lvl.Elim.OrigN)
-		l.fwdCarry = growCols(l.fwdCarry, k, len(lvl.Elim.Ops))
-		l.fwdRed = growCols(l.fwdRed, k, len(lvl.Elim.Keep))
-		l.backX = growCols(l.backX, k, lvl.Elim.OrigN)
-		for len(l.scal) < k {
-			l.scal = append(l.scal, 0)
-		}
+		l.chebX.Reshape(n, k)
+		l.chebR.Reshape(n, k)
+		l.chebP.Reshape(n, k)
+		l.chebAp.Reshape(n, k)
+		l.fwdWork.Reshape(lvl.Elim.OrigN, k)
+		l.fwdCarry.Reshape(len(lvl.Elim.Ops), k)
+		l.fwdRed.Reshape(len(lvl.Elim.Keep), k)
+		l.backX.Reshape(lvl.Elim.OrigN, k)
+		l.scal = growFloats(l.scal, 2*k)
 	}
-	ws.bot.x = growCols(ws.bot.x, k, c.Bottom.N())
-	ws.bot.g = growCols(ws.bot.g, k, c.Bottom.GroundedLen())
-	if ws.outerN > 0 {
-		ws.growOuter(k, ws.outerN)
-	}
+	ws.bot.x.Reshape(c.Bottom.N(), k)
+	ws.bot.g.Reshape(c.Bottom.GroundedLen(), k)
+	ws.bot.scal = growFloats(ws.bot.scal, 2*k)
 	ws.cols = k
 }
 
-// ensureOuter equips the workspace with the outer PCG scratch for vectors of
-// length n (the solver's top-level system size) and the current column count.
-func (ws *workspace) ensureOuter(n int) {
-	if ws.outerN >= n && len(ws.pcgR) >= ws.cols {
-		return
-	}
+// ensureOuter equips the workspace with the outer PCG scratch for a k-column
+// solve over vectors of length n (the solver's top-level system size).
+// Blocks are reshaped in place; the scalar scratch packs 13 k-sized lanes
+// (see pcgFlexibleBlock) plus the 2k projection partials.
+func (ws *workspace) ensureOuter(n, k int) {
 	if n < ws.outerN {
 		n = ws.outerN
 	}
-	ws.growOuter(ws.cols, n)
 	ws.outerN = n
+	ws.pcgX.Reshape(n, k)
+	ws.pcgR.Reshape(n, k)
+	ws.pcgAp.Reshape(n, k)
+	ws.pcgPrev.Reshape(n, k)
+	ws.pcgDiff.Reshape(n, k)
+	ws.pcgP.Reshape(n, k)
+	ws.pcgScal = growFloats(ws.pcgScal, 13*k)
+	ws.pcgLane = growInts(ws.pcgLane, 2*k)
+	ws.pcgCol = growFloats(ws.pcgCol, n)
 }
 
-func (ws *workspace) growOuter(k, n int) {
-	ws.pcgR = growCols(ws.pcgR, k, n)
-	ws.pcgAp = growCols(ws.pcgAp, k, n)
-	ws.pcgPrev = growCols(ws.pcgPrev, k, n)
-	ws.pcgDiff = growCols(ws.pcgDiff, k, n)
-	ws.pcgP = growCols(ws.pcgP, k, n)
-	for len(ws.pcgScal) < k {
-		ws.pcgScal = append(ws.pcgScal, 0)
-	}
-}
-
-// bytes estimates the workspace's retained footprint.
+// bytes estimates the workspace's retained footprint (backing capacities —
+// Reshape never shrinks them).
 func (ws *workspace) bytes() int64 {
 	var n int64
-	count := func(buf [][]float64) {
-		for _, col := range buf {
-			n += int64(len(col)) * 8
-		}
+	blk := func(b *matrix.Block) {
+		n += int64(b.Cap()) * 8
 	}
 	for i := range ws.lvl {
 		l := &ws.lvl[i]
-		count(l.chebX)
-		count(l.chebR)
-		count(l.chebP)
-		count(l.chebAp)
-		count(l.fwdWork)
-		count(l.fwdCarry)
-		count(l.fwdRed)
-		count(l.backX)
-		n += int64(len(l.scal)) * 8
+		blk(&l.chebX)
+		blk(&l.chebR)
+		blk(&l.chebP)
+		blk(&l.chebAp)
+		blk(&l.fwdWork)
+		blk(&l.fwdCarry)
+		blk(&l.fwdRed)
+		blk(&l.backX)
+		n += int64(cap(l.scal)) * 8
 	}
-	count(ws.bot.x)
-	count(ws.bot.g)
-	count(ws.pcgR)
-	count(ws.pcgAp)
-	count(ws.pcgPrev)
-	count(ws.pcgDiff)
-	count(ws.pcgP)
-	n += int64(len(ws.pcgScal)) * 8
+	blk(&ws.bot.x)
+	blk(&ws.bot.g)
+	n += int64(cap(ws.bot.scal)) * 8
+	blk(&ws.pcgX)
+	blk(&ws.pcgR)
+	blk(&ws.pcgAp)
+	blk(&ws.pcgPrev)
+	blk(&ws.pcgDiff)
+	blk(&ws.pcgP)
+	n += int64(cap(ws.pcgScal))*8 + int64(cap(ws.pcgLane))*8 + int64(cap(ws.pcgCol))*8
 	return n
 }
 
@@ -184,7 +191,7 @@ type wsPool struct {
 	peak        atomic.Int64
 }
 
-// get returns a workspace for chain c covering at least k columns.
+// get returns a workspace for chain c shaped to exactly k columns.
 func (p *wsPool) get(c *Chain, k int) *workspace {
 	ws, _ := p.pool.Get().(*workspace)
 	if ws == nil {
@@ -199,9 +206,9 @@ func (p *wsPool) get(c *Chain, k int) *workspace {
 }
 
 // put returns a workspace to the pool, reconciling any growth that happened
-// while it was checked out (pcgFlexible's lazy ensureOuter): the workspace
-// is released at its CURRENT footprint, so outstanding never drifts and
-// peak reflects the scratch the pool really retains.
+// while it was checked out (the outer driver's lazy ensureOuter): the
+// workspace is released at its CURRENT footprint, so outstanding never
+// drifts and peak reflects the scratch the pool really retains.
 func (p *wsPool) put(ws *workspace) {
 	b := ws.bytes()
 	if b != ws.charged {
