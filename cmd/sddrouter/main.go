@@ -1,0 +1,143 @@
+// Command sddrouter is the cluster front door for a fleet of sddserver
+// shards: a thin reverse proxy that assigns each graph to a node with a
+// consistent-hash ring over the canonical graph id and fails over to the
+// next live node on the ring when the owner is unreachable.
+//
+// Placement is computed from the request itself: POST /graphs bodies are
+// hashed with the same canonical-id function the shards use, and
+// /graphs/{id}/... routes shard by the id in the path — so a graph's
+// registration, solves, streams, and stats all land on the same node, and
+// every router instance agrees on which node that is without coordination.
+//
+// Failover expects the shards to share a snapshot store (sddserver's
+// -chain-dir on shared storage, or -chain-s3-*): the replica that inherits
+// a dead node's graph restores the chain from the store on first use and
+// answers bit-identically. Idempotent requests — registrations, and solves
+// whose bodies fit -retry-buffer-bytes — are retried on the failover node
+// when the owner refuses connections; streaming solves are pinned to one
+// node for the connection's lifetime.
+//
+// The router health-probes every node in the background (-probe-*), routes
+// around nodes that fail their probes, and serves its own endpoints:
+//
+//	GET /healthz   router + per-node health
+//	GET /metrics   per-node request/error/retry counters and ring state
+//	GET /ring      node health; with ?key=<graph id>, that key's owner and
+//	               failover order
+//
+// Example:
+//
+//	sddrouter -addr :8080 \
+//	  -node shard-a=http://10.0.0.1:8080 -node shard-b=http://10.0.0.2:8080
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parlap/internal/cluster"
+	"parlap/internal/service"
+)
+
+// nodeList collects repeated -node flags.
+type nodeList []cluster.Node
+
+func (nl *nodeList) String() string {
+	parts := make([]string, len(*nl))
+	for i, n := range *nl {
+		parts[i] = n.Name + "=" + n.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (nl *nodeList) Set(s string) error {
+	n, err := cluster.ParseNode(s)
+	if err != nil {
+		return err
+	}
+	*nl = append(*nl, n)
+	return nil
+}
+
+var (
+	addr          = flag.String("addr", ":8080", "listen address")
+	vnodes        = flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = 64)")
+	probeInterval = flag.Duration("probe-interval", 5*time.Second, "health-probe interval for a healthy node")
+	probeTimeout  = flag.Duration("probe-timeout", 2*time.Second, "per-probe request timeout")
+	probeBackoff  = flag.Duration("probe-max-backoff", 30*time.Second, "probe-interval cap for a failing node (exponential backoff up to this)")
+	probeJitter   = flag.Float64("probe-jitter", 0.2, "fractional jitter applied to every probe wait (negative = none)")
+	retryBuffer   = flag.Int64("retry-buffer-bytes", 8<<20, "largest solve body buffered for replay on a failover node; larger bodies are forwarded one-shot")
+	drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight proxied requests")
+	logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of logfmt text")
+)
+
+func main() {
+	var nodes nodeList
+	flag.Var(&nodes, "node", "shard as name=url (repeatable; at least one required)")
+	flag.Parse()
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	if len(nodes) == 0 {
+		fmt.Fprintln(os.Stderr, "at least one -node name=url is required")
+		os.Exit(1)
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Nodes:       nodes,
+		VNodes:      *vnodes,
+		RegisterKey: service.RegisterKey,
+		Probe: cluster.ProbeConfig{
+			Interval:   *probeInterval,
+			Timeout:    *probeTimeout,
+			MaxBackoff: *probeBackoff,
+			Jitter:     *probeJitter,
+		},
+		RetryBufferBytes: *retryBuffer,
+		Logger:           logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+	logger.Info("routing", "addr", *addr, "nodes", nodes.String())
+	// Same timeout posture as the shards: no write timeout (proxied streams
+	// stay open as long as the client feeds them), bounded header reads, and
+	// an idle timeout so abandoned keep-alive connections do not accumulate.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("draining", "timeout", drainTimeout.String())
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		logger.Warn("drain_failed", "err", err)
+	}
+	logger.Info("shut_down_cleanly")
+}

@@ -27,10 +27,14 @@
 // POST .../solve?debug=timings returns the request's stage trace; and
 // -pprof-addr serves net/http/pprof on a separate listener.
 //
-// With -chain-dir the server persists built chains as content-addressed
-// snapshots (internal/chainio) and restores them on boot and on cache miss,
-// so a restart warm-starts instead of rebuilding; SIGINT/SIGTERM drain
-// in-flight requests and run a final snapshot pass before exit.
+// With -chain-dir (local directory) or -chain-s3-endpoint/-chain-s3-bucket
+// (any S3-compatible object store, e.g. minio) the server persists built
+// chains as content-addressed snapshots (internal/chainio) and restores
+// them on boot, on cache miss, and on demand when a solve arrives for a
+// graph another node built against the same store; SIGINT/SIGTERM drain
+// in-flight requests and run a final snapshot pass before exit. In a
+// multi-node deployment give each server a -node-id and front the fleet
+// with cmd/sddrouter.
 //
 // Example:
 //
@@ -76,7 +80,14 @@ var (
 	chebSlack     = flag.Float64("cheb-slack", 0, "override the static κ·slack safety envelope on the Chebyshev lower bound (0 = default 1.5)")
 	budgetLiftN   = flag.Int("budget-lift-n", 0, "top-level vertex count past which the Chebyshev work budget lifts to the full measured sqrt(kappa) schedule (0 = default 65536, negative = never lift)")
 	chainDir      = flag.String("chain-dir", "", "directory for persisted chain snapshots; enables restore-on-boot/miss and snapshot-on-shutdown (empty = no persistence)")
-	snapOnBuild   = flag.Bool("snapshot-on-build", true, "with -chain-dir: also persist each chain right after it builds (write-behind), not only at shutdown")
+	s3Endpoint    = flag.String("chain-s3-endpoint", "", "S3-compatible endpoint URL for chain snapshots (e.g. http://minio:9000); mutually exclusive with -chain-dir")
+	s3Bucket      = flag.String("chain-s3-bucket", "", "S3 bucket holding chain snapshots (required with -chain-s3-endpoint)")
+	s3Region      = flag.String("chain-s3-region", "", "S3 signing region (empty = us-east-1)")
+	s3Prefix      = flag.String("chain-s3-prefix", "", "key prefix for snapshot objects in the bucket")
+	s3AccessKey   = flag.String("chain-s3-access-key", "", "S3 access key id (empty = $AWS_ACCESS_KEY_ID)")
+	s3SecretKey   = flag.String("chain-s3-secret-key", "", "S3 secret access key (empty = $AWS_SECRET_ACCESS_KEY)")
+	snapOnBuild   = flag.Bool("snapshot-on-build", true, "with a snapshot store: also persist each chain right after it builds (write-behind), not only at shutdown")
+	nodeID        = flag.String("node-id", "", "shard name reported in /healthz for multi-node deployments (empty = unnamed)")
 	drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests and the shutdown snapshot pass")
 	pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it off any public interface)")
 	logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of logfmt text")
@@ -115,13 +126,39 @@ func main() {
 		chain.BudgetLiftVertices = *budgetLiftN
 	}
 	var store chainio.BlobStore
-	if *chainDir != "" {
+	storeDesc := ""
+	switch {
+	case *chainDir != "" && *s3Endpoint != "":
+		fmt.Fprintln(os.Stderr, "set at most one of -chain-dir and -chain-s3-endpoint")
+		os.Exit(1)
+	case *chainDir != "":
 		ds, err := chainio.NewDirStore(*chainDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		store = ds
+		store, storeDesc = ds, *chainDir
+	case *s3Endpoint != "":
+		ak, sk := *s3AccessKey, *s3SecretKey
+		if ak == "" {
+			ak = os.Getenv("AWS_ACCESS_KEY_ID")
+		}
+		if sk == "" {
+			sk = os.Getenv("AWS_SECRET_ACCESS_KEY")
+		}
+		s3, err := chainio.NewS3Store(chainio.S3Config{
+			Endpoint:  *s3Endpoint,
+			Region:    *s3Region,
+			Bucket:    *s3Bucket,
+			Prefix:    *s3Prefix,
+			AccessKey: ak,
+			SecretKey: sk,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		store, storeDesc = s3, *s3Endpoint+"/"+*s3Bucket
 	}
 	srv := service.New(service.Config{
 		MaxGraphs:           *maxGraphs,
@@ -140,6 +177,7 @@ func main() {
 		Snapshots:           store,
 		SnapshotOnBuild:     *snapOnBuild,
 		Logger:              logger,
+		NodeID:              *nodeID,
 	})
 	if store != nil {
 		// Warm start: load every persisted chain before accepting traffic,
@@ -148,7 +186,7 @@ func main() {
 		if err != nil {
 			logger.Warn("snapshot_restore_failed", "err", err)
 		}
-		logger.Info("snapshot_restore", "restored", restored, "dir", *chainDir)
+		logger.Info("snapshot_restore", "restored", restored, "store", storeDesc)
 	}
 	if *pprofAddr != "" {
 		// Profiling endpoints on their own listener (own mux, never the
@@ -178,10 +216,15 @@ func main() {
 		"solve_slots", *maxInflight,
 		"workers", w,
 	)
+	// No write timeout: streaming solves legitimately hold a response open
+	// for as long as the client keeps sending rows. IdleTimeout is what
+	// actually bounds idle keep-alive connections — without it every client
+	// that forgets to close leaks a connection (and its buffers) forever.
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections, drains

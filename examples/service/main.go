@@ -52,6 +52,7 @@ var (
 	dumpX       = flag.String("dump-x", "", "write the single-solve solutions to this JSON file")
 	requireX    = flag.String("require-x", "", "fail unless the single-solve solutions are bitwise identical to this JSON file (from -dump-x)")
 	minSnapHits = flag.Int64("min-snapshot-hits", 0, "fail unless /healthz reports at least this many snapshot hits")
+	snapHealthz = flag.String("snapshot-healthz", "", "base URL whose /healthz the -min-snapshot-hits check reads (default -addr; set to a specific shard when -addr points at sddrouter)")
 	// Load-generator mode.
 	load        = flag.Int("load", 0, "fire this many solve requests and report latency percentiles (0 = run the smoke checks instead)")
 	concurrency = flag.Int("concurrency", 4, "concurrent load-generator workers (with -load)")
@@ -355,11 +356,15 @@ func main() {
 
 func checkSnapHits() {
 	if *minSnapHits > 0 {
+		base := *addr
+		if *snapHealthz != "" {
+			base = *snapHealthz
+		}
 		var health struct {
 			SnapshotHits   int64 `json:"snapshot_hits"`
 			SnapshotErrors int64 `json:"snapshot_errors"`
 		}
-		if err := getJSON(*addr+"/healthz", &health); err != nil {
+		if err := getJSON(base+"/healthz", &health); err != nil {
 			fatalf("healthz: %v", err)
 		}
 		if health.SnapshotHits < *minSnapHits {

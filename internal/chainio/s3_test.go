@@ -1,0 +1,205 @@
+package chainio_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"parlap/internal/chainio"
+	"parlap/internal/chainio/s3test"
+)
+
+func newTestStore(t *testing.T, fake *s3test.Server, prefix string) *chainio.S3Store {
+	t.Helper()
+	store, err := chainio.NewS3Store(chainio.S3Config{
+		Endpoint:  fake.URL(),
+		Region:    fake.Region,
+		Bucket:    fake.Bucket,
+		Prefix:    prefix,
+		AccessKey: fake.AccessKey,
+		SecretKey: fake.SecretKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// TestS3StoreRoundTrip drives Put/Get/List/Delete through the fake S3
+// server, which verifies the SigV4 signature of every request before acting
+// on it — a zero-auth-failure run proves the client signs correctly.
+func TestS3StoreRoundTrip(t *testing.T) {
+	fake := s3test.New("chains", "us-east-1", "AKIDEXAMPLE", "secret-key-for-tests")
+	defer fake.Close()
+	store := newTestStore(t, fake, "snapshots")
+
+	id := "g0123456789abcdef0123456789abcdef"
+	if _, err := store.Get(id); !errors.Is(err, chainio.ErrNotFound) {
+		t.Fatalf("Get on empty bucket: got %v, want ErrNotFound", err)
+	}
+	blob := []byte("payload-v1")
+	if err := store.Put(id, blob); err != nil {
+		t.Fatal(err)
+	}
+	// The object landed under prefix/id.chain (prefix normalized to a
+	// trailing slash).
+	if data, ok := fake.Object("snapshots/" + id + ".chain"); !ok || string(data) != "payload-v1" {
+		t.Fatalf("object not stored under expected key: %q, %v", data, ok)
+	}
+	got, err := store.Get(id)
+	if err != nil || string(got) != string(blob) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Overwrite.
+	if err := store.Put(id, []byte("payload-v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = store.Get(id); string(got) != "payload-v2" {
+		t.Fatalf("after overwrite Get = %q", got)
+	}
+	ids, err := store.List()
+	if err != nil || len(ids) != 1 || ids[0] != id {
+		t.Fatalf("List = %v, %v", ids, err)
+	}
+	if err := store.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	// S3 deletes are idempotent: deleting an absent key is not an error
+	// (documented divergence from DirStore).
+	if err := store.Delete(id); err != nil {
+		t.Fatalf("second Delete: %v", err)
+	}
+	if ids, _ = store.List(); len(ids) != 0 {
+		t.Fatalf("List after delete = %v", ids)
+	}
+	if n := fake.AuthFailures(); n != 0 {
+		t.Fatalf("%d requests failed SigV4 verification", n)
+	}
+}
+
+// TestS3StoreListPaginatesAndFilters: List must walk continuation tokens
+// across truncated pages and skip objects that are not snapshots.
+func TestS3StoreListPaginatesAndFilters(t *testing.T) {
+	fake := s3test.New("chains", "eu-west-1", "AKID2", "another-secret")
+	defer fake.Close()
+	fake.MaxKeys = 2 // force pagination
+	store := newTestStore(t, fake, "p/")
+
+	var want []string
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("g%032d", i)
+		if err := store.Put(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, id)
+	}
+	// Foreign objects under the same prefix, and snapshots under another
+	// prefix, must not surface.
+	fake.SetObject("p/notes.txt", []byte("x"))
+	fake.SetObject("p/sub/gdeadbeef.chain", []byte("x"))
+	fake.SetObject("other/gfeedface.chain", []byte("x"))
+
+	ids, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Fatalf("List = %v, want %v", ids, want)
+	}
+	_, _, lists, _ := fake.Counts()
+	if lists < 3 {
+		t.Fatalf("List made %d requests; want >= 3 (pagination at MaxKeys=2 over 7 keys)", lists)
+	}
+}
+
+// TestS3StoreRejectsBadSignature: a store holding the wrong secret must be
+// rejected by the server's SigV4 verification, and the client must surface
+// the 403.
+func TestS3StoreRejectsBadSignature(t *testing.T) {
+	fake := s3test.New("chains", "us-east-1", "AKID", "right-secret")
+	defer fake.Close()
+	store, err := chainio.NewS3Store(chainio.S3Config{
+		Endpoint:  fake.URL(),
+		Region:    fake.Region,
+		Bucket:    fake.Bucket,
+		AccessKey: fake.AccessKey,
+		SecretKey: "wrong-secret",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("gabc", []byte("x")); err == nil {
+		t.Fatal("Put with wrong secret succeeded")
+	}
+	if n := fake.AuthFailures(); n == 0 {
+		t.Fatal("server did not record a signature failure")
+	}
+	if _, ok := fake.Object("gabc.chain"); ok {
+		t.Fatal("object stored despite bad signature")
+	}
+}
+
+// TestS3StoreRejectsWrongRegionScope: the credential scope is part of the
+// signature; signing for another region must not verify.
+func TestS3StoreRejectsWrongRegionScope(t *testing.T) {
+	fake := s3test.New("chains", "us-east-1", "AKID", "secret")
+	defer fake.Close()
+	store, err := chainio.NewS3Store(chainio.S3Config{
+		Endpoint:  fake.URL(),
+		Region:    "ap-south-2",
+		Bucket:    fake.Bucket,
+		AccessKey: fake.AccessKey,
+		SecretKey: fake.SecretKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("gabc", []byte("x")); err == nil {
+		t.Fatal("Put signed for the wrong region succeeded")
+	}
+}
+
+func TestS3StoreConfigValidation(t *testing.T) {
+	base := chainio.S3Config{
+		Endpoint: "http://127.0.0.1:9000", Bucket: "b",
+		AccessKey: "a", SecretKey: "s",
+	}
+	cases := []struct {
+		name   string
+		mutate func(*chainio.S3Config)
+	}{
+		{"empty endpoint", func(c *chainio.S3Config) { c.Endpoint = "" }},
+		{"bad scheme", func(c *chainio.S3Config) { c.Endpoint = "ftp://x" }},
+		{"endpoint with path", func(c *chainio.S3Config) { c.Endpoint = "http://x/base" }},
+		{"empty bucket", func(c *chainio.S3Config) { c.Bucket = "" }},
+		{"bad bucket chars", func(c *chainio.S3Config) { c.Bucket = "Bad_Bucket" }},
+		{"missing creds", func(c *chainio.S3Config) { c.SecretKey = "" }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := chainio.NewS3Store(cfg); err == nil {
+			t.Errorf("%s: config accepted", tc.name)
+		}
+	}
+	if _, err := chainio.NewS3Store(base); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestS3StoreRejectsUnsafeIDs mirrors the DirStore id validation: the same
+// ids must be refused before any request is made.
+func TestS3StoreRejectsUnsafeIDs(t *testing.T) {
+	fake := s3test.New("chains", "us-east-1", "AKID", "secret")
+	defer fake.Close()
+	store := newTestStore(t, fake, "")
+	for _, id := range []string{"", "../escape", "a/b", "sp ace"} {
+		if err := store.Put(id, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", id)
+		}
+		if _, err := store.Get(id); err == nil {
+			t.Errorf("Get(%q) accepted", id)
+		}
+	}
+}

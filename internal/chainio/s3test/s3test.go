@@ -1,0 +1,210 @@
+// Package s3test is an in-process fake S3 server for tests: an
+// httptest.Server speaking just enough of the S3 REST API for
+// chainio.S3Store — path-style PutObject/GetObject/DeleteObject and
+// ListObjectsV2 with pagination — and verifying the SigV4 signature of
+// every request with chainio.VerifySigV4 before acting on it, so the
+// client's signing is tested byte-for-byte, not trusted. Nothing here
+// needs external infrastructure.
+package s3test
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"parlap/internal/chainio"
+)
+
+// Server is one fake S3 endpoint holding one bucket in memory.
+type Server struct {
+	ts *httptest.Server
+
+	// Bucket/Region/AccessKey/SecretKey are the expected request shape;
+	// requests for another bucket 404 and bad signatures 403.
+	Bucket    string
+	Region    string
+	AccessKey string
+	SecretKey string
+	// MaxKeys caps one ListObjectsV2 page (forces pagination when small).
+	MaxKeys int
+
+	mu          sync.Mutex
+	objects     map[string][]byte
+	authErrs    int
+	puts, gets  int
+	lists, dels int
+}
+
+// New starts a fake S3 server with the given bucket and credentials.
+// Callers must Close it.
+func New(bucket, region, accessKey, secretKey string) *Server {
+	s := &Server{
+		Bucket:    bucket,
+		Region:    region,
+		AccessKey: accessKey,
+		SecretKey: secretKey,
+		MaxKeys:   1000,
+		objects:   make(map[string][]byte),
+	}
+	s.ts = httptest.NewServer(http.HandlerFunc(s.handle))
+	return s
+}
+
+// URL returns the endpoint base URL for S3Config.Endpoint.
+func (s *Server) URL() string { return s.ts.URL }
+
+// Close shuts the server down.
+func (s *Server) Close() { s.ts.Close() }
+
+// AuthFailures reports how many requests were rejected for bad signatures.
+func (s *Server) AuthFailures() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.authErrs
+}
+
+// Counts reports how many put/get/list/delete operations were served.
+func (s *Server) Counts() (puts, gets, lists, dels int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.puts, s.gets, s.lists, s.dels
+}
+
+// Object returns the stored bytes for key (bucket-relative) and whether it
+// exists.
+func (s *Server) Object(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.objects[key]
+	return append([]byte(nil), data...), ok
+}
+
+// SetObject plants an object directly, bypassing the API — for seeding
+// corrupt blobs and foreign keys.
+func (s *Server) SetObject(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[key] = append([]byte(nil), data...)
+}
+
+func xmlError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "<?xml version=\"1.0\" encoding=\"UTF-8\"?><Error><Code>%s</Code><Message>%s</Message></Error>", code, msg)
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		xmlError(w, http.StatusBadRequest, "IncompleteBody", err.Error())
+		return
+	}
+	if err := chainio.VerifySigV4(r, body, s.AccessKey, s.SecretKey, s.Region); err != nil {
+		s.mu.Lock()
+		s.authErrs++
+		s.mu.Unlock()
+		xmlError(w, http.StatusForbidden, "SignatureDoesNotMatch", err.Error())
+		return
+	}
+	bucket, key, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/"), "/")
+	if bucket != s.Bucket {
+		xmlError(w, http.StatusNotFound, "NoSuchBucket", bucket)
+		return
+	}
+	switch {
+	case r.Method == http.MethodGet && key == "":
+		s.handleList(w, r)
+	case r.Method == http.MethodPut && key != "":
+		s.mu.Lock()
+		s.objects[key] = body
+		s.puts++
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	case r.Method == http.MethodGet && key != "":
+		s.mu.Lock()
+		data, ok := s.objects[key]
+		s.gets++
+		s.mu.Unlock()
+		if !ok {
+			xmlError(w, http.StatusNotFound, "NoSuchKey", key)
+			return
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	case r.Method == http.MethodDelete && key != "":
+		s.mu.Lock()
+		delete(s.objects, key)
+		s.dels++
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		xmlError(w, http.StatusMethodNotAllowed, "MethodNotAllowed", r.Method)
+	}
+}
+
+// listPage mirrors the ListObjectsV2 response shape.
+type listPage struct {
+	XMLName               xml.Name   `xml:"ListBucketResult"`
+	Name                  string     `xml:"Name"`
+	Prefix                string     `xml:"Prefix"`
+	KeyCount              int        `xml:"KeyCount"`
+	MaxKeys               int        `xml:"MaxKeys"`
+	IsTruncated           bool       `xml:"IsTruncated"`
+	NextContinuationToken string     `xml:"NextContinuationToken,omitempty"`
+	Contents              []listItem `xml:"Contents"`
+}
+
+type listItem struct {
+	Key  string `xml:"Key"`
+	Size int    `xml:"Size"`
+}
+
+// handleList serves ListObjectsV2: keys sorted lexicographically (as S3
+// guarantees), filtered by prefix, paginated at MaxKeys per page with the
+// last key of a truncated page as the (opaque to clients) continuation
+// token.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("list-type") != "2" {
+		xmlError(w, http.StatusBadRequest, "InvalidRequest", "only list-type=2 is supported")
+		return
+	}
+	prefix := q.Get("prefix")
+	after := q.Get("continuation-token")
+	s.mu.Lock()
+	s.lists++
+	keys := make([]string, 0, len(s.objects))
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) && (after == "" || k > after) {
+			keys = append(keys, k)
+		}
+	}
+	maxKeys := s.MaxKeys
+	sizes := make(map[string]int, len(keys))
+	for _, k := range keys {
+		sizes[k] = len(s.objects[k])
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	page := listPage{Name: s.Bucket, Prefix: prefix, MaxKeys: maxKeys}
+	if len(keys) > maxKeys {
+		keys = keys[:maxKeys]
+		page.IsTruncated = true
+		page.NextContinuationToken = keys[len(keys)-1]
+	}
+	for _, k := range keys {
+		page.Contents = append(page.Contents, listItem{Key: k, Size: sizes[k]})
+	}
+	page.KeyCount = len(keys)
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, xml.Header)
+	_ = xml.NewEncoder(w).Encode(page)
+}

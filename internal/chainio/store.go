@@ -28,13 +28,17 @@ type BlobStore interface {
 const snapshotExt = ".chain"
 
 // DirStore is a BlobStore over a local directory: one <id>.chain file per
-// snapshot, written via temp-file-and-rename so a crash mid-Put never
-// leaves a torn blob under a valid name.
+// snapshot, written via temp-file-and-rename. The staged file is fsynced
+// before the rename and the directory is fsynced after it, so a crash
+// mid-Put never leaves a torn blob under a valid name, and once Put has
+// returned the published blob survives power loss.
 type DirStore struct {
 	dir string
 }
 
-// NewDirStore creates the directory if needed and returns a store over it.
+// NewDirStore creates the directory if needed, sweeps staging files stranded
+// by a crash mid-Put (a temp file between CreateTemp and the deferred Remove
+// has no owner left to clean it up), and returns a store over it.
 func NewDirStore(dir string) (*DirStore, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("chainio: empty snapshot directory")
@@ -42,7 +46,32 @@ func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("chainio: creating snapshot directory: %w", err)
 	}
-	return &DirStore{dir: dir}, nil
+	ds := &DirStore{dir: dir}
+	if err := ds.sweepStaging(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// sweepStaging removes stale Put staging files (".{id}.tmp-*"). Only this
+// process family writes them, and any found at open time belong to a Put
+// that died before publishing — a concurrent Put's live staging file cannot
+// exist yet when the store for its directory is first opened.
+func (ds *DirStore) sweepStaging() error {
+	entries, err := os.ReadDir(ds.dir)
+	if err != nil {
+		return fmt.Errorf("chainio: sweeping snapshot directory: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp-") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(ds.dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("chainio: removing stale staging file %s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // Dir reports the directory the store persists into.
@@ -96,6 +125,21 @@ func (ds *DirStore) Put(id string, data []byte) error {
 	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		return fmt.Errorf("chainio: publishing snapshot: %w", err)
+	}
+	// The rename published the blob in memory, but the directory entry is
+	// not durable until the directory itself is fsynced: without this a
+	// power loss right after Put could lose the published snapshot entirely
+	// (file data synced, name never recorded).
+	d, err := os.Open(ds.dir)
+	if err != nil {
+		return fmt.Errorf("chainio: opening snapshot directory for sync: %w", err)
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("chainio: syncing snapshot directory: %w", serr)
 	}
 	return nil
 }

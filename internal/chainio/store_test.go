@@ -63,6 +63,45 @@ func TestDirStoreRejectsUnsafeIDs(t *testing.T) {
 	}
 }
 
+// TestDirStoreSweepsStaleStagingFiles: a crash between CreateTemp and the
+// deferred Remove strands ".{id}.tmp-*" files forever; re-opening the store
+// must sweep them while leaving published snapshots and foreign files alone.
+func TestDirStoreSweepsStaleStagingFiles(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("gabc", []byte("published")); err != nil {
+		t.Fatal(err)
+	}
+	// Plant staging files exactly as CreateTemp("."+id+".tmp-*") names them,
+	// plus a dotfile that is NOT a staging file and must survive.
+	stale := []string{".gdef.tmp-123456", ".gabc.tmp-0", ".g0123456789abcdef0123456789abcdef.tmp-99"}
+	for _, name := range stale {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".keepme"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDirStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range stale {
+		if _, err := os.Stat(filepath.Join(dir, name)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("stale staging file %s survived the sweep (stat err: %v)", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".keepme")); err != nil {
+		t.Errorf("non-staging dotfile swept: %v", err)
+	}
+	if got, err := ds.Get("gabc"); err != nil || string(got) != "published" {
+		t.Fatalf("published snapshot damaged by sweep: %q, %v", got, err)
+	}
+}
+
 func TestDirStoreListSkipsForeignFiles(t *testing.T) {
 	dir := t.TempDir()
 	ds, err := NewDirStore(dir)

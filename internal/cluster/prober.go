@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ProbeConfig tunes the background health prober.
+type ProbeConfig struct {
+	// Interval between probes of a healthy node. Default 5s.
+	Interval time.Duration
+	// Timeout for one probe request. Default 2s.
+	Timeout time.Duration
+	// MaxBackoff caps the probe interval for a failing node: after each
+	// consecutive failure the next probe waits Interval·2^failures, clamped
+	// here, so a dead node costs a bounded trickle of connection attempts
+	// instead of a steady hammer. Default 30s.
+	MaxBackoff time.Duration
+	// Jitter spreads each wait uniformly over ±Jitter fraction of its
+	// nominal value so a fleet of routers does not probe in lockstep.
+	// Default 0.2; set negative for none.
+	Jitter float64
+	// Path is the health endpoint probed on each node. Default "/healthz".
+	Path string
+}
+
+func (c *ProbeConfig) withDefaults() ProbeConfig {
+	out := *c
+	if out.Interval <= 0 {
+		out.Interval = 5 * time.Second
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 2 * time.Second
+	}
+	if out.MaxBackoff <= 0 {
+		out.MaxBackoff = 30 * time.Second
+	}
+	if out.Jitter == 0 {
+		out.Jitter = 0.2
+	}
+	if out.Path == "" {
+		out.Path = "/healthz"
+	}
+	return out
+}
+
+// NodeStatus is one node's health as the prober last saw it.
+type NodeStatus struct {
+	Name     string `json:"name"`
+	URL      string `json:"url"`
+	Alive    bool   `json:"alive"`
+	Failures int    `json:"consecutive_failures,omitempty"`
+	LastErr  string `json:"last_error,omitempty"`
+}
+
+// Prober probes each node's health endpoint on its own schedule: a jittered
+// fixed interval while the node answers, exponential backoff while it does
+// not. Nodes start optimistically alive — a request racing the first probe
+// goes to its owner, and a transport failure there both fails over and
+// reports the node down. ReportFailure lets the router feed those
+// observations back so the datapath, not just the probe loop, can take a
+// node out of rotation.
+type Prober struct {
+	cfg    ProbeConfig
+	client *http.Client
+	log    *slog.Logger
+
+	mu    sync.Mutex
+	state map[string]*nodeState
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+type nodeState struct {
+	node     Node
+	alive    bool
+	failures int
+	lastErr  string
+	kick     chan struct{} // wakes the probe loop for an immediate recheck
+}
+
+// NewProber builds a prober over nodes. client may be nil (per-probe timeout
+// is applied via context either way). Call Start to begin probing; a prober
+// that is never started leaves every node permanently alive.
+func NewProber(nodes []Node, cfg ProbeConfig, client *http.Client, log *slog.Logger) *Prober {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if log == nil {
+		log = slog.Default()
+	}
+	p := &Prober{
+		cfg:    cfg.withDefaults(),
+		client: client,
+		log:    log,
+		state:  make(map[string]*nodeState, len(nodes)),
+		stop:   make(chan struct{}),
+	}
+	for _, n := range nodes {
+		p.state[n.Name] = &nodeState{node: n, alive: true, kick: make(chan struct{}, 1)}
+	}
+	return p
+}
+
+// Start launches one probe goroutine per node. Safe to call once; Stop ends
+// them.
+func (p *Prober) Start() {
+	p.startOnce.Do(func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		for _, st := range p.state {
+			p.wg.Add(1)
+			go p.loop(st)
+		}
+	})
+}
+
+// Stop ends probing and waits for the probe goroutines to exit.
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// Alive reports whether the prober currently believes the named node is up.
+// Unknown names are dead.
+func (p *Prober) Alive(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.state[name]
+	return st != nil && st.alive
+}
+
+// ReportFailure records a datapath transport failure against a node: it is
+// marked down immediately (so the very next request routes around it) and
+// its probe loop is kicked to recheck, which is what brings it back.
+func (p *Prober) ReportFailure(name string, err error) {
+	p.mu.Lock()
+	st := p.state[name]
+	if st == nil {
+		p.mu.Unlock()
+		return
+	}
+	wasAlive := st.alive
+	st.alive = false
+	st.failures++
+	if err != nil {
+		st.lastErr = err.Error()
+	}
+	p.mu.Unlock()
+	if wasAlive {
+		p.log.Warn("node_down", "node", name, "source", "datapath", "err", st.lastErr)
+	}
+	select {
+	case st.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Status returns a snapshot of every node's health, in no particular order.
+func (p *Prober) Status() []NodeStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]NodeStatus, 0, len(p.state))
+	for _, st := range p.state {
+		out = append(out, NodeStatus{
+			Name:     st.node.Name,
+			URL:      st.node.URL,
+			Alive:    st.alive,
+			Failures: st.failures,
+			LastErr:  st.lastErr,
+		})
+	}
+	return out
+}
+
+// loop probes one node until Stop.
+func (p *Prober) loop(st *nodeState) {
+	defer p.wg.Done()
+	for {
+		ok, err := p.probe(st.node)
+		p.mu.Lock()
+		wasAlive := st.alive
+		if ok {
+			st.alive = true
+			st.failures = 0
+			st.lastErr = ""
+		} else {
+			st.alive = false
+			st.failures++
+			st.lastErr = err.Error()
+		}
+		failures := st.failures
+		p.mu.Unlock()
+		if ok && !wasAlive {
+			p.log.Info("node_up", "node", st.node.Name)
+		} else if !ok && wasAlive {
+			p.log.Warn("node_down", "node", st.node.Name, "source", "probe", "err", err)
+		}
+
+		wait := p.cfg.Interval
+		if !ok {
+			// Exponential backoff: interval·2^(failures-1), capped.
+			for i := 1; i < failures && wait < p.cfg.MaxBackoff; i++ {
+				wait *= 2
+			}
+			if wait > p.cfg.MaxBackoff {
+				wait = p.cfg.MaxBackoff
+			}
+		}
+		timer := time.NewTimer(jitter(wait, p.cfg.Jitter))
+		select {
+		case <-p.stop:
+			timer.Stop()
+			return
+		case <-st.kick:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// probe makes one health request. Any 2xx body is healthy; everything else —
+// refused connection, timeout, 5xx — is not.
+func (p *Prober) probe(n Node) (bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+p.cfg.Path, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return false, fmt.Errorf("probe %s: status %d", n.Name, resp.StatusCode)
+	}
+	return true, nil
+}
+
+// jitter spreads d uniformly over [d·(1-f), d·(1+f)]. The randomness only
+// desynchronizes probe schedules; nothing downstream depends on it.
+func jitter(d time.Duration, f float64) time.Duration {
+	if f <= 0 || d <= 0 {
+		return d
+	}
+	lo := float64(d) * (1 - f)
+	span := float64(d) * 2 * f
+	return time.Duration(lo + rand.Float64()*span)
+}

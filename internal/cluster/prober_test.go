@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// waitAlive spins until the prober's belief about name matches want.
+func waitAlive(t *testing.T, p *Prober, name string, want bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Alive(name) == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("node %s never became alive=%v", name, want)
+}
+
+// TestProberDownAndRecovery: a node that starts failing its health checks
+// is marked down within a probe interval or two, and marked up again once
+// it recovers — with the failure backoff capped so recovery is not
+// unboundedly delayed.
+func TestProberDownAndRecovery(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+
+	p := NewProber([]Node{{Name: "n1", URL: ts.URL}}, ProbeConfig{
+		Interval:   20 * time.Millisecond,
+		Timeout:    time.Second,
+		MaxBackoff: 100 * time.Millisecond,
+	}, nil, quietLogger())
+	p.Start()
+	defer p.Stop()
+
+	waitAlive(t, p, "n1", true)
+	healthy.Store(false)
+	waitAlive(t, p, "n1", false)
+	// While down, Status carries the failure detail.
+	var st NodeStatus
+	for _, s := range p.Status() {
+		if s.Name == "n1" {
+			st = s
+		}
+	}
+	if st.Alive || st.Failures == 0 || st.LastErr == "" {
+		t.Fatalf("down status = %+v", st)
+	}
+	healthy.Store(true)
+	waitAlive(t, p, "n1", true)
+}
+
+// TestProberReportFailure: a datapath-reported transport failure takes the
+// node out of rotation immediately — before any probe has run — and the
+// kicked probe loop brings it back once the node answers.
+func TestProberReportFailure(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	p := NewProber([]Node{{Name: "n1", URL: ts.URL}}, ProbeConfig{
+		Interval: time.Hour, // only the kick can recheck within the test
+		Timeout:  time.Second,
+	}, nil, quietLogger())
+
+	if !p.Alive("n1") {
+		t.Fatal("nodes must start optimistically alive")
+	}
+	p.ReportFailure("n1", errors.New("connection refused"))
+	if p.Alive("n1") {
+		t.Fatal("ReportFailure did not mark the node down")
+	}
+	p.ReportFailure("unknown", nil) // must not panic
+	p.Start()
+	defer p.Stop()
+	waitAlive(t, p, "n1", true)
+}

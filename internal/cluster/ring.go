@@ -1,0 +1,141 @@
+// Package cluster is the horizontal-scale slice of the serving tier: a
+// consistent-hash ring assigning graphs to nodes by canonical id, a
+// background health prober, and a reverse-proxy router that sends each
+// request to the owning shard and fails over to the next live node on the
+// ring when the owner is down. Nodes share nothing but a snapshot store
+// (chainio.BlobStore): the replica that inherits a graph warms its chain
+// from the store instead of rebuilding, so failover costs a snapshot decode,
+// not an O(m log m) build.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one serving shard: a stable name (the hash identity — renaming a
+// node reshuffles its share of the keyspace) and its base URL.
+type Node struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// ParseNode parses "name=url" (or a bare url, which names itself).
+func ParseNode(s string) (Node, error) {
+	name, u, ok := strings.Cut(s, "=")
+	if !ok {
+		name, u = s, s
+	}
+	name = strings.TrimSpace(name)
+	u = strings.TrimRight(strings.TrimSpace(u), "/")
+	if name == "" || u == "" {
+		return Node{}, fmt.Errorf("cluster: bad node %q (want name=url)", s)
+	}
+	if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+		return Node{}, fmt.Errorf("cluster: node %s: url %q must be http(s)", name, u)
+	}
+	return Node{Name: name, URL: u}, nil
+}
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node int // index into Ring.nodes
+}
+
+// Ring is a consistent-hash ring over a static node list. Each node
+// contributes vnodes points (hash of "name#i"); a key is owned by the first
+// point clockwise from the key's own hash. Order walks on from there,
+// yielding each distinct node once — a deterministic failover sequence that
+// every router instance computes identically.
+type Ring struct {
+	nodes  []Node
+	points []point
+}
+
+// NewRing builds a ring. vnodes <= 0 defaults to 64, enough to keep the
+// keyspace split within a few percent of even for small clusters. Node names
+// must be unique.
+func NewRing(nodes []Node, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{
+		nodes:  append([]Node(nil), nodes...),
+		points: make([]point, 0, len(nodes)*vnodes),
+	}
+	for i, n := range r.nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("cluster: node %d has no name", i)
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hashKey(fmt.Sprintf("%s#%d", n.Name, v)), i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A full-64-bit hash collision between different nodes is
+		// astronomically unlikely; break it by node index so the ring is
+		// still deterministic if it happens.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// hashKey maps a string to a ring position. SHA-256 rather than a fast
+// non-crypto hash: ring placement happens once per request on strings a few
+// dozen bytes long, and the uniformity guarantee is worth more than the
+// nanoseconds.
+func hashKey(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the ring's node list in configuration order.
+func (r *Ring) Nodes() []Node { return append([]Node(nil), r.nodes...) }
+
+// succ returns the index into points of the first point at or after h,
+// wrapping at the top of the ring.
+func (r *Ring) succ(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Owner returns the node that owns key.
+func (r *Ring) Owner(key string) Node {
+	return r.nodes[r.points[r.succ(hashKey(key))].node]
+}
+
+// Order returns every node exactly once, starting with key's owner and
+// continuing clockwise around the ring: the deterministic failover order.
+// Two routers with the same configuration produce the same sequence, so a
+// graph's failover replica is well-defined cluster-wide.
+func (r *Ring) Order(key string) []Node {
+	out := make([]Node, 0, len(r.nodes))
+	taken := make([]bool, len(r.nodes))
+	for i, n := r.succ(hashKey(key)), 0; n < len(r.nodes); i++ {
+		p := r.points[i%len(r.points)]
+		if !taken[p.node] {
+			taken[p.node] = true
+			out = append(out, r.nodes[p.node])
+			n++
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testNodes(names ...string) []Node {
+	out := make([]Node, len(names))
+	for i, n := range names {
+		out[i] = Node{Name: n, URL: "http://" + n + ":8080"}
+	}
+	return out
+}
+
+// TestRingDeterministic: two rings built from the same configuration place
+// every key identically — owner and full failover order — which is what
+// lets independent router instances agree on shard assignment with no
+// coordination.
+func TestRingDeterministic(t *testing.T) {
+	r1, err := NewRing(testNodes("a", "b", "c"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(testNodes("a", "b", "c"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("g%032d", i)
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("owner of %s differs between identical rings", key)
+		}
+		o1, o2 := r1.Order(key), r2.Order(key)
+		if len(o1) != 3 || len(o2) != 3 {
+			t.Fatalf("order length %d/%d, want 3", len(o1), len(o2))
+		}
+		seen := map[string]bool{}
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("order of %s differs at position %d", key, j)
+			}
+			seen[o1[j].Name] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("order of %s repeats a node: %v", key, o1)
+		}
+		if o1[0] != r1.Owner(key) {
+			t.Fatalf("order of %s does not start at its owner", key)
+		}
+	}
+}
+
+// TestRingBalance: with the default vnode count, no node's share of the
+// keyspace is degenerate.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(testNodes("a", "b", "c"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("g%032x", i)).Name]++
+	}
+	for name, c := range counts {
+		if frac := float64(c) / keys; frac < 0.15 || frac > 0.55 {
+			t.Errorf("node %s owns %.0f%% of the keyspace", name, frac*100)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d nodes own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingStability: removing one node must not move keys between the
+// surviving nodes — the consistent-hashing property that makes failover
+// reassign only the dead node's share.
+func TestRingStability(t *testing.T) {
+	full, err := NewRing(testNodes("a", "b", "c"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing(testNodes("a", "b"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("g%032d", i)
+		before := full.Owner(key).Name
+		after := reduced.Owner(key).Name
+		if before == "c" {
+			continue // c's keys must move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving nodes after removing c", moved)
+	}
+}
+
+// TestRingFailoverSuccession: a key's failover order on the full ring,
+// restricted to surviving nodes, starts with the owner the reduced ring
+// assigns — the router's "next live node on the ring" is exactly where the
+// key would land if the dead node were removed.
+func TestRingFailoverSuccession(t *testing.T) {
+	full, err := NewRing(testNodes("a", "b", "c"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("g%032d", i)
+		order := full.Order(key)
+		dead := order[0].Name
+		var survivors []Node
+		for _, n := range testNodes("a", "b", "c") {
+			if n.Name != dead {
+				survivors = append(survivors, n)
+			}
+		}
+		reduced, err := NewRing(survivors, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := reduced.Owner(key).Name, order[1].Name; got != want {
+			t.Fatalf("key %s: reduced-ring owner %s, full-ring successor %s", key, got, want)
+		}
+	}
+}
+
+func TestNewRingRejectsBadConfig(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := NewRing([]Node{{Name: "a"}, {Name: "a"}}, 4); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := NewRing([]Node{{URL: "http://x"}}, 4); err == nil {
+		t.Error("unnamed node accepted")
+	}
+}
+
+func TestParseNode(t *testing.T) {
+	n, err := ParseNode("shard-a=http://127.0.0.1:8921/")
+	if err != nil || n.Name != "shard-a" || n.URL != "http://127.0.0.1:8921" {
+		t.Fatalf("ParseNode = %+v, %v", n, err)
+	}
+	n, err = ParseNode("http://127.0.0.1:9000")
+	if err != nil || n.Name != "http://127.0.0.1:9000" {
+		t.Fatalf("bare-url ParseNode = %+v, %v", n, err)
+	}
+	for _, bad := range []string{"", "a=", "=http://x", "a=ftp://x"} {
+		if _, err := ParseNode(bad); err == nil {
+			t.Errorf("ParseNode(%q) accepted", bad)
+		}
+	}
+}

@@ -28,6 +28,13 @@ type admitter struct {
 	total    int
 	byGraph  map[string]int
 	queue    list.List // of *admitWaiter, FIFO
+
+	// testGrantedWhileCancelling, when set, runs in Acquire after ctx
+	// cancellation is observed but before the admitter lock is retaken —
+	// the window in which a concurrent Release can still grant the
+	// cancelled waiter. Tests use it to drive that interleaving
+	// deterministically; production code never sets it.
+	testGrantedWhileCancelling func()
 }
 
 // admitWaiter is one queued Acquire call.
@@ -109,6 +116,9 @@ func (a *admitter) Acquire(ctx context.Context, id string) error {
 	case <-w.ready:
 		return nil
 	case <-ctx.Done():
+		if a.testGrantedWhileCancelling != nil {
+			a.testGrantedWhileCancelling()
+		}
 		a.mu.Lock()
 		select {
 		case <-w.ready:

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAdmitterGrantedWhileCancelling drives the narrow interleaving in
+// Acquire's cancellation path deterministically: the waiter observes
+// ctx.Done, and a concurrent Release grants it the slot before it retakes
+// the admitter lock. The grant must be detected and the slot returned —
+// otherwise a slot leaks every time a grant races a cancellation, and the
+// admitter's capacity shrinks permanently by one.
+//
+// The test hook runs on the waiter's own goroutine strictly between "Done
+// branch chosen" and "lock retaken", so the racy window is entered on every
+// run regardless of scheduling: the Release inside the hook is what grants
+// the already-cancelled waiter.
+func TestAdmitterGrantedWhileCancelling(t *testing.T) {
+	a := newAdmitter(1, 1)
+	if err := a.Acquire(context.Background(), "holder"); err != nil {
+		t.Fatal(err)
+	}
+	released := make(chan struct{})
+	a.testGrantedWhileCancelling = func() {
+		// The waiter has committed to cancelling but not yet re-locked:
+		// releasing the holder's slot now drains the queue and grants the
+		// cancelled waiter, putting it exactly in the granted-while-
+		// cancelling state.
+		a.Release("holder")
+		close(released)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.Acquire(ctx, "late") }()
+	waitQueueLen(t, a, 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire returned %v, want context.Canceled", err)
+	}
+	<-released
+
+	// The cancelled waiter was granted the slot mid-cancel; Acquire must
+	// have handed it straight back.
+	if g, total := a.Inflight("late"); g != 0 || total != 0 {
+		t.Fatalf("slot leaked to cancelled waiter: graph=%d total=%d", g, total)
+	}
+	if d := a.QueueDepth(); d != 0 {
+		t.Fatalf("queue not empty after cancel: depth=%d", d)
+	}
+	// And the capacity must be immediately usable — an Acquire with a
+	// deadline would hang here if the slot had leaked.
+	a.testGrantedWhileCancelling = nil
+	probe, cancelProbe := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelProbe()
+	if err := a.Acquire(probe, "probe"); err != nil {
+		t.Fatalf("slot unusable after granted-while-cancelling: %v", err)
+	}
+	a.Release("probe")
+	if _, total := a.Inflight("probe"); total != 0 {
+		t.Fatalf("total=%d after full drain, want 0", total)
+	}
+}

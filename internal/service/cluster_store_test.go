@@ -1,0 +1,178 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"parlap/internal/chainio"
+	"parlap/internal/chainio/s3test"
+	"parlap/internal/gen"
+)
+
+// Multi-node shared-store behavior at the service level: a server that has
+// never built a graph serves a solve for it by restoring the chain from the
+// snapshot store on demand — the mechanism a failover replica relies on —
+// and degraded blobs fall back safely. The S3 variants run the same paths
+// through the SigV4-verifying fake S3 server, proving the serving layer and
+// the S3 BlobStore compose.
+
+func s3Store(t *testing.T, fake *s3test.Server) *chainio.S3Store {
+	t.Helper()
+	store, err := chainio.NewS3Store(chainio.S3Config{
+		Endpoint:  fake.URL(),
+		Region:    fake.Region,
+		Bucket:    fake.Bucket,
+		AccessKey: fake.AccessKey,
+		SecretKey: fake.SecretKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// TestSolveRestoresOnDemand: a solve on a server that never registered the
+// graph restores the chain from the store instead of answering 404, and the
+// solution is bit-identical to the building server's.
+func TestSolveRestoresOnDemand(t *testing.T) {
+	ctx := context.Background()
+	ds := snapshotStore(t)
+	cfg := Config{Workers: 2, Snapshots: ds, SnapshotOnBuild: true}
+
+	builder := New(cfg)
+	g := gen.Grid2D(9, 9)
+	id := GraphID(g)
+	if _, _, err := builder.Register(ctx, g, "t"); err != nil {
+		t.Fatal(err)
+	}
+	bs := [][]float64{meanFreeRHS(g.N, 11)}
+	xRef, _, err := builder.Solve(ctx, id, bs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := builder.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replica: no RestoreAll, no Register — the solve itself must warm
+	// the chain.
+	replica := New(cfg)
+	xs, _, err := replica.Solve(ctx, id, bs, 0)
+	if err != nil {
+		t.Fatalf("cold solve with snapshot available: %v", err)
+	}
+	for i := range xRef[0] {
+		if math.Float64bits(xs[0][i]) != math.Float64bits(xRef[0][i]) {
+			t.Fatalf("restored-on-demand solve differs at entry %d", i)
+		}
+	}
+	h := replica.Health()
+	if h.SnapshotHits != 1 {
+		t.Fatalf("snapshot_hits = %d, want 1", h.SnapshotHits)
+	}
+	if h.Graphs != 1 {
+		t.Fatalf("restored chain not cached: %d graphs", h.Graphs)
+	}
+	// The restore registered as a build with source "snapshot".
+	st, err := replica.Stats(ctx, id)
+	if err != nil || !st.Restored || st.Source != "snapshot" {
+		t.Fatalf("stats after on-demand restore: %+v, %v", st, err)
+	}
+	// Second solve is a plain cache hit — no second restore.
+	if _, _, err := replica.Solve(ctx, id, bs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if h := replica.Health(); h.SnapshotHits != 1 {
+		t.Fatalf("snapshot_hits grew to %d on a cached solve", h.SnapshotHits)
+	}
+}
+
+// TestSolveUnknownGraphStillNotFound: the on-demand restore path must not
+// change the 404 contract when the store has no snapshot.
+func TestSolveUnknownGraphStillNotFound(t *testing.T) {
+	ctx := context.Background()
+	srv := New(Config{Workers: 2, Snapshots: snapshotStore(t)})
+	_, _, err := srv.Solve(ctx, "g0123456789abcdef0123456789abcdef", [][]float64{{1, -1}}, 0)
+	var nf *NotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatalf("solve of unknown graph: %v, want NotFoundError", err)
+	}
+	if h := srv.Health(); h.SnapshotMisses != 1 {
+		t.Fatalf("snapshot_misses = %d, want 1", h.SnapshotMisses)
+	}
+}
+
+// TestS3WarmRestoreAcrossServers: two servers sharing a fake S3 bucket —
+// the second restores what the first persisted, bit-identically, with every
+// request SigV4-verified by the server.
+func TestS3WarmRestoreAcrossServers(t *testing.T) {
+	ctx := context.Background()
+	fake := s3test.New("parlap-chains", "us-east-1", "AKID", "secret")
+	defer fake.Close()
+	cfg := Config{Workers: 2, Snapshots: s3Store(t, fake), SnapshotOnBuild: true}
+
+	s1 := New(cfg)
+	g := gen.Grid2D(8, 8)
+	id := GraphID(g)
+	if _, _, err := s1.Register(ctx, g, "t"); err != nil {
+		t.Fatal(err)
+	}
+	bs := [][]float64{meanFreeRHS(g.N, 4)}
+	xRef, _, err := s1.Solve(ctx, id, bs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown snapshot pass through S3: %v", err)
+	}
+
+	s2 := New(cfg)
+	restored, err := s2.RestoreAll(ctx)
+	if err != nil || restored != 1 {
+		t.Fatalf("RestoreAll via S3 = %d, %v", restored, err)
+	}
+	xs, _, err := s2.Solve(ctx, id, bs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xRef[0] {
+		if math.Float64bits(xs[0][i]) != math.Float64bits(xRef[0][i]) {
+			t.Fatalf("S3-restored solve differs at entry %d", i)
+		}
+	}
+	if n := fake.AuthFailures(); n != 0 {
+		t.Fatalf("%d S3 requests failed signature verification", n)
+	}
+}
+
+// TestS3CorruptBlobDegradesToFreshBuild: a corrupt snapshot must never take
+// the server down — registration falls back to building, and the error
+// counters record what happened.
+func TestS3CorruptBlobDegradesToFreshBuild(t *testing.T) {
+	ctx := context.Background()
+	fake := s3test.New("parlap-chains", "us-east-1", "AKID", "secret")
+	defer fake.Close()
+	cfg := Config{Workers: 2, Snapshots: s3Store(t, fake)}
+
+	g := gen.Grid2D(7, 7)
+	id := GraphID(g)
+	fake.SetObject(id+".chain", []byte("definitely not a chain snapshot"))
+
+	srv := New(cfg)
+	// A solve finds the blob but cannot decode it: NotFound, one error.
+	if _, _, err := srv.Solve(ctx, id, [][]float64{meanFreeRHS(g.N, 2)}, 0); err == nil {
+		t.Fatal("solve served from a corrupt snapshot")
+	}
+	if h := srv.Health(); h.SnapshotErrors != 1 {
+		t.Fatalf("snapshot_errors = %d, want 1", h.SnapshotErrors)
+	}
+	// Registration degrades to a fresh build and works.
+	if _, cached, err := srv.Register(ctx, g, "t"); err != nil || cached {
+		t.Fatalf("register over corrupt snapshot: cached=%v err=%v", cached, err)
+	}
+	if _, _, err := srv.Solve(ctx, id, [][]float64{meanFreeRHS(g.N, 2)}, 0); err != nil {
+		t.Fatalf("solve after fresh build: %v", err)
+	}
+}

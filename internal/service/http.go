@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -182,6 +183,28 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 		return false
 	}
 	return true
+}
+
+// RegisterKey computes the canonical graph id a POST /graphs body would
+// register under, without registering anything. This is the cluster
+// router's shard key: the router materializes the graph from the body with
+// exactly the decode path handleRegister uses, so the request routes to the
+// node whose cache (and whose snapshot) the id will live in.
+func RegisterKey(body []byte) (string, error) {
+	var req RegisterRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return "", err
+	}
+	g, _, err := graphFromRequest(&req)
+	if err != nil {
+		return "", err
+	}
+	if g.N == 0 {
+		return "", errors.New("empty graph")
+	}
+	return GraphID(g), nil
 }
 
 // graphFromRequest materializes the request's graph payload.

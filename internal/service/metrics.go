@@ -143,15 +143,40 @@ func (w *statusWriter) code() int {
 	return w.status
 }
 
-// route wraps a handler with the per-request plumbing: a minted request id
-// (stored in the context, echoed in the X-Request-ID header, stamped into
-// every error envelope), the route/status counter behind
-// parlap_http_requests_total, and one structured log line per request. The
-// route name is passed explicitly because the Go 1.22 mux does not expose
-// the matched pattern to the handler.
+// validRequestID reports whether an inbound X-Request-ID is safe to adopt:
+// bounded length and a conservative charset, since it is echoed into logs,
+// headers, and error envelopes verbatim.
+func validRequestID(rid string) bool {
+	if rid == "" || len(rid) > 64 {
+		return false
+	}
+	for i := 0; i < len(rid); i++ {
+		c := rid[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// route wraps a handler with the per-request plumbing: a request id (stored
+// in the context, echoed in the X-Request-ID header, stamped into every
+// error envelope), the route/status counter behind
+// parlap_http_requests_total, and one structured log line per request. A
+// sane inbound X-Request-ID — from the cluster router, or a client
+// correlating its own calls — is adopted rather than replaced, so one id
+// names the request across every hop's logs; anything else gets a minted
+// id. The route name is passed explicitly because the Go 1.22 mux does not
+// expose the matched pattern to the handler.
 func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		rid := s.nextRequestID()
+		rid := r.Header.Get("X-Request-ID")
+		if !validRequestID(rid) {
+			rid = s.nextRequestID()
+		}
 		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
 		w.Header().Set("X-Request-ID", rid)
 		sw := &statusWriter{ResponseWriter: w}

@@ -96,6 +96,10 @@ type Config struct {
 	// write-behind snapshot results. Nil discards them — the library stays
 	// silent unless the embedder opts in.
 	Logger *slog.Logger
+	// NodeID names this server instance in a multi-node deployment. It is
+	// surfaced in /healthz so routers, probes, and people can tell shards
+	// apart; it has no effect on serving. Empty for single-node use.
+	NodeID string
 }
 
 // Server owns the graph registry. All methods are safe for concurrent use.
@@ -463,6 +467,77 @@ func (s *Server) lookupRef(id string) (*entry, bool) {
 	return e, ok
 }
 
+// lookupOrRestoreRef is lookupRef with a snapshot-store fallback: a solve
+// (or stats read) for a graph this process has never built can still be
+// served if a peer — or a previous life of this process — persisted the
+// chain. This is what makes failover cheap in a multi-node deployment: the
+// replica that inherits a graph after its owner dies warms the chain from
+// the shared store on the first solve instead of answering 404 until
+// someone re-registers. Restores are bounded by the build semaphore (a
+// decode materializes a full chain's memory) and count as builds in the
+// telemetry, with source "snapshot". On success the entry is returned with
+// one reference held, exactly like lookupRef; the caller must release it.
+func (s *Server) lookupOrRestoreRef(ctx context.Context, id string) (*entry, error) {
+	if e, ok := s.lookupRef(id); ok {
+		return e, nil
+	}
+	if s.cfg.Snapshots == nil {
+		return nil, &NotFoundError{ID: id}
+	}
+	s.buildWaiting.Add(1)
+	select {
+	case s.buildSem <- struct{}{}:
+		s.buildWaiting.Add(-1)
+	case <-ctx.Done():
+		s.buildWaiting.Add(-1)
+		return nil, ctx.Err()
+	}
+	t0 := time.Now()
+	sv, ok := s.tryRestore(id)
+	<-s.buildSem
+	if !ok {
+		return nil, &NotFoundError{ID: id}
+	}
+	dur := time.Since(t0)
+	s.builds.Add(1)
+	s.buildNanos.Add(dur.Nanoseconds())
+	e := &entry{
+		id:       id,
+		source:   "snapshot",
+		n:        sv.G.N,
+		m:        sv.G.M(),
+		built:    make(chan struct{}),
+		solver:   sv,
+		restored: true,
+		levels:   sv.Chain.Depth(),
+		buildDur: dur,
+		bytes:    sv.MemoryBytes(),
+	}
+	close(e.built)
+	s.mu.Lock()
+	if cur, raced := s.entries[id]; raced {
+		// A concurrent registration or restore won the insert; drop our
+		// decode and use the cache's entry (which may still be building —
+		// the caller waits on built as usual).
+		s.lru.MoveToFront(cur.elem)
+		cur.refs++
+		s.mu.Unlock()
+		return cur, nil
+	}
+	e.elem = s.lru.PushFront(e)
+	s.entries[id] = e
+	s.cacheBytes += e.bytes
+	e.refs++
+	s.evictLocked(e)
+	s.mu.Unlock()
+	s.log.Info("chain_restore_on_demand",
+		"request_id", requestID(ctx),
+		"graph", id,
+		"duration_ms", float64(dur.Microseconds())/1000,
+	)
+	return e, nil
+}
+
 // release drops a lookupRef reference, reclaiming the solver if the entry
 // was evicted while the reference was held.
 func (s *Server) release(e *entry) {
@@ -521,9 +596,9 @@ func (s *Server) solveTraced(ctx context.Context, id string, bs [][]float64, eps
 		return nil, nil, tr, err
 	}
 	tStart := time.Now()
-	e, ok := s.lookupRef(id)
-	if !ok {
-		return fail(&NotFoundError{ID: id})
+	e, err := s.lookupOrRestoreRef(ctx, id)
+	if err != nil {
+		return fail(err)
 	}
 	defer s.release(e)
 	select {
@@ -644,9 +719,9 @@ type GraphTimings struct {
 // Stats returns the stats document for graph id. ctx bounds the wait on an
 // in-flight build of that graph.
 func (s *Server) Stats(ctx context.Context, id string) (*GraphStats, error) {
-	e, ok := s.lookupRef(id)
-	if !ok {
-		return nil, &NotFoundError{ID: id}
+	e, err := s.lookupOrRestoreRef(ctx, id)
+	if err != nil {
+		return nil, err
 	}
 	defer s.release(e)
 	select {
@@ -702,9 +777,15 @@ func (s *Server) Stats(ctx context.Context, id string) (*GraphStats, error) {
 
 // ServerStats is the service-wide health/stats document.
 type ServerStats struct {
-	Status    string `json:"status"`
-	Graphs    int    `json:"graphs"`
-	MaxGraphs int    `json:"max_graphs"`
+	Status string `json:"status"`
+	// NodeID is the shard name from Config.NodeID; empty on a single node.
+	NodeID string `json:"node_id,omitempty"`
+	// SnapshotStore reports whether a snapshot store is configured — in a
+	// cluster, whether this node can warm-restore graphs owned by a failed
+	// peer instead of rebuilding them.
+	SnapshotStore bool `json:"snapshot_store"`
+	Graphs        int  `json:"graphs"`
+	MaxGraphs     int  `json:"max_graphs"`
 	// CacheBytes / MaxCacheBytes are the byte-accounted cache occupancy and
 	// budget: the sum of every cached chain's estimated retained footprint,
 	// the quantity eviction trims alongside the entry count.
@@ -742,7 +823,9 @@ func (s *Server) Health() *ServerStats {
 	bytes := s.cacheBytes
 	s.mu.Unlock()
 	return &ServerStats{
-		Status: "ok", Graphs: n, MaxGraphs: s.cfg.MaxGraphs,
+		Status: "ok", NodeID: s.cfg.NodeID,
+		SnapshotStore: s.cfg.Snapshots != nil,
+		Graphs:        n, MaxGraphs: s.cfg.MaxGraphs,
 		CacheBytes: bytes, MaxCacheBytes: s.cfg.MaxCacheBytes,
 		Registers: s.registers.Load(), CacheHits: s.cacheHits.Load(),
 		Evictions:           s.evictions.Load(),

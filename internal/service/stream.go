@@ -49,9 +49,9 @@ func (s *Server) solveStream(ctx context.Context, id string, eps float64,
 	// The reference spans the whole stream, not just one window: between
 	// windows the entry may be evicted (it no longer serves lookups), but
 	// its solver must stay reclaimable-only-after the stream finishes.
-	e, ok := s.lookupRef(id)
-	if !ok {
-		return 0, &NotFoundError{ID: id}
+	e, err := s.lookupOrRestoreRef(ctx, id)
+	if err != nil {
+		return 0, err
 	}
 	defer s.release(e)
 	select {
