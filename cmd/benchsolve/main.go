@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/exec"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"parlap/internal/gen"
@@ -25,13 +27,15 @@ import (
 )
 
 var (
-	outPath = flag.String("out", "BENCH_solve.json", "output file")
-	quick   = flag.Bool("quick", false, "CI-sized repetitions")
-	full    = flag.Bool("full", false, "also run grid2d:256x256 (minutes on one core)")
-	eps     = flag.Float64("eps", 1e-6, "relative residual target")
-	batchK  = flag.Int("batch", 8, "batch width for the batched-solve row")
-	seed    = flag.Int64("seed", 1, "graph + RHS seed")
-	workers = flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS); iteration counts are identical for every value")
+	outPath   = flag.String("out", "BENCH_solve.json", "output file")
+	quick     = flag.Bool("quick", false, "CI-sized repetitions")
+	full      = flag.Bool("full", false, "also run grid2d:256x256 (minutes on one core)")
+	eps       = flag.Float64("eps", 1e-6, "relative residual target")
+	batchK    = flag.Int("batch", 8, "batch width for the batched-solve row")
+	seed      = flag.Int64("seed", 1, "graph + RHS seed")
+	workers   = flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS); iteration counts are identical for every value")
+	precision = flag.String("precision", "f64", "chain value storage: f64 or f32 (per-level quality gate)")
+	reorder   = flag.Bool("reorder", false, "build chains with the cache-aware Cuthill-McKee level layout")
 )
 
 // result is one topology's row.
@@ -68,11 +72,32 @@ type batchRow struct {
 }
 
 type doc struct {
-	GeneratedUnix int64    `json:"generated_unix"`
-	GoMaxProcs    int      `json:"gomaxprocs"`
-	Eps           float64  `json:"eps"`
-	Quick         bool     `json:"quick"`
-	Results       []result `json:"results"`
+	GeneratedUnix int64 `json:"generated_unix"`
+	// Provenance stamp: which build of the code, toolchain, and machine
+	// produced these numbers — what makes cross-commit comparison of bench
+	// artifacts (CI's perf-regression gate) trustworthy.
+	GitSHA     string   `json:"git_sha,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Eps        float64  `json:"eps"`
+	Quick      bool     `json:"quick"`
+	Precision  string   `json:"precision"`
+	Reorder    bool     `json:"reorder,omitempty"`
+	Results    []result `json:"results"`
+}
+
+// gitSHA resolves the commit being benchmarked: CI's $GITHUB_SHA when set,
+// otherwise git itself; empty (omitted from the JSON) outside a checkout.
+func gitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func meanFreeRHS(n int, rng *rand.Rand) []float64 {
@@ -107,11 +132,21 @@ func main() {
 	if *full {
 		specs = append(specs, "grid2d:256x256")
 	}
+	prec, err := solver.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsolve:", err)
+		os.Exit(1)
+	}
 	out := doc{
 		GeneratedUnix: time.Now().Unix(),
+		GitSHA:        gitSHA(),
+		GoVersion:     runtime.Version(),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
 		Eps:           *eps,
 		Quick:         *quick,
+		Precision:     prec.String(),
+		Reorder:       *reorder,
 	}
 	for _, spec := range specs {
 		g, err := gen.FromSpec(spec, *seed)
@@ -119,8 +154,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchsolve: %s: %v\n", spec, err)
 			os.Exit(1)
 		}
+		params := solver.DefaultChainParams()
+		params.Precision = prec
+		params.ReorderLevels = *reorder
 		t0 := time.Now()
-		s, err := solver.NewWithOptions(g, solver.DefaultChainParams(), solver.Options{Workers: *workers}, nil)
+		s, err := solver.NewWithOptions(g, params, solver.Options{Workers: *workers}, nil)
 		buildMS := float64(time.Since(t0).Microseconds()) / 1000
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchsolve: %s: chain build: %v\n", spec, err)

@@ -18,7 +18,7 @@
 // Wire layout (all integers little-endian, floats as IEEE-754 bit patterns):
 //
 //	magic   [8]byte "PLCHSNP\x00"
-//	version uint32  (currently 1; anything else is rejected)
+//	version uint32  (see Version; anything else is rejected)
 //	id      uint16 length + bytes (the canonical graph hash, "g" + 32 hex)
 //	body    ChainParams, MaxIter, the input graph, per-level payloads,
 //	        the bottom graph and its grounded dense LDL^T factor
@@ -44,12 +44,15 @@ import (
 )
 
 const (
-	// Version is the current snapshot format version. Version 2 appended
-	// ChainParams.BudgetLiftVertices to the parameter record (the
-	// size-adaptive Chebyshev schedule policy); earlier snapshots are
-	// rejected rather than guessed at — rebuilding a chain is cheap next to
-	// silently restoring a different schedule.
-	Version = 2
+	// Version is the current snapshot format version. Version 3 appended
+	// ChainParams.Precision + ReorderLevels to the parameter record and the
+	// per-level precision-gate outcome (ValF32, KappaF64) plus the
+	// Cuthill–McKee permutation; version 2 appended
+	// ChainParams.BudgetLiftVertices (the size-adaptive Chebyshev schedule
+	// policy). Earlier snapshots are rejected rather than guessed at —
+	// rebuilding a chain is cheap next to silently restoring a different
+	// schedule or layout.
+	Version = 3
 
 	magicLen   = 8
 	trailerLen = sha256.Size
@@ -119,6 +122,12 @@ func Encode(s *solver.Solver, id string) ([]byte, error) {
 		w.f64(lvl.EigLo)
 		w.f64(lvl.KappaMeasured)
 		w.bool(lvl.Calibrated)
+		w.bool(lvl.ValF32)
+		w.f64(lvl.KappaF64)
+		w.u64(uint64(len(lvl.Perm)))
+		for _, v := range lvl.Perm {
+			w.i32(v)
+		}
 	}
 	encodeGraph(w, d.BottomG)
 	l, diag := d.Bottom.Parts()
@@ -209,6 +218,17 @@ func Decode(data []byte, wantID string, opt solver.Options) (*solver.Solver, err
 		lvl.EigLo = r.f64()
 		lvl.KappaMeasured = r.f64()
 		lvl.Calibrated = r.bool()
+		lvl.ValF32 = r.bool()
+		lvl.KappaF64 = r.f64()
+		nPerm := r.count(4)
+		if nPerm > 0 {
+			lvl.Perm = make([]int32, 0, nPerm)
+			for j := 0; r.err == nil && j < nPerm; j++ {
+				lvl.Perm = append(lvl.Perm, r.i32())
+			}
+			// Permutation validity (range + bijection) is checked by
+			// AssembleSnapshot against the level's vertex count.
+		}
 		d.Levels = append(d.Levels, lvl)
 	}
 	d.BottomG = decodeGraph(r)
@@ -293,6 +313,8 @@ func encodeParams(w writer, p *solver.ChainParams) {
 	w.f64(p.ChebBudget)
 	w.i64(p.Seed)
 	w.i64(int64(p.BudgetLiftVertices))
+	w.u8(uint8(p.Precision))
+	w.bool(p.ReorderLevels)
 }
 
 func decodeParams(r *reader, p *solver.ChainParams) {
@@ -315,6 +337,12 @@ func decodeParams(r *reader, p *solver.ChainParams) {
 	p.ChebBudget = r.f64()
 	p.Seed = r.i64()
 	p.BudgetLiftVertices = int(r.i64())
+	prec := r.u8()
+	if prec > uint8(solver.PrecisionF32) {
+		r.fail("unknown chain precision %d", prec)
+	}
+	p.Precision = solver.Precision(prec)
+	p.ReorderLevels = r.bool()
 }
 
 func encodeGraph(w writer, g *graph.Graph) {

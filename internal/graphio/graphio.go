@@ -164,7 +164,7 @@ func WriteMatrixMarket(w io.Writer, a *matrix.Sparse) error {
 	nnz := 0
 	for r := 0; r < a.N; r++ {
 		for i := a.Off[r]; i < a.Off[r+1]; i++ {
-			if a.Col[i] <= r {
+			if int(a.Col[i]) <= r {
 				nnz++
 			}
 		}
@@ -172,8 +172,8 @@ func WriteMatrixMarket(w io.Writer, a *matrix.Sparse) error {
 	fmt.Fprintf(bw, "%d %d %d\n", a.N, a.N, nnz)
 	for r := 0; r < a.N; r++ {
 		for i := a.Off[r]; i < a.Off[r+1]; i++ {
-			if a.Col[i] <= r {
-				fmt.Fprintf(bw, "%d %d %.17g\n", r+1, a.Col[i]+1, a.Val[i])
+			if int(a.Col[i]) <= r {
+				fmt.Fprintf(bw, "%d %d %.17g\n", r+1, int(a.Col[i])+1, a.Val[i])
 			}
 		}
 	}

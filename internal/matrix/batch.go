@@ -27,6 +27,7 @@ func (a *Sparse) MulVecBatchW(workers int, xs, ys [][]float64) {
 		a.MulVecW(workers, xs[0], ys[0])
 		return
 	}
+	f32 := a.Val == nil
 	par.ForChunkedW(workers, a.N, func(lo, hi int) {
 		acc := make([]float64, k)
 		for r := lo; r < hi; r++ {
@@ -34,7 +35,13 @@ func (a *Sparse) MulVecBatchW(workers int, xs, ys [][]float64) {
 				acc[c] = 0
 			}
 			for i := a.Off[r]; i < a.Off[r+1]; i++ {
-				v, col := a.Val[i], a.Col[i]
+				var v float64
+				if f32 {
+					v = float64(a.Val32[i])
+				} else {
+					v = a.Val[i]
+				}
+				col := a.Col[i]
 				for c := 0; c < k; c++ {
 					acc[c] += v * xs[c][col]
 				}

@@ -138,37 +138,60 @@ func (a *Sparse) MulVecBlockW(workers int, x, y *Block) {
 		a.MulVecW(workers, x.Vec(), y.Vec())
 		return
 	}
+	// Named row helpers, closures only on the parallel branch (sequential
+	// zero-alloc wall); the f32-valued twin widens each coefficient before
+	// the identical per-lane accumulation.
 	if par.Sequential(workers) {
-		for r := 0; r < a.N; r++ {
-			yr := y.data[r*k : (r+1)*k]
-			for c := range yr {
-				yr[c] = 0
-			}
-			for i := a.Off[r]; i < a.Off[r+1]; i++ {
-				v := a.Val[i]
-				xr := x.data[a.Col[i]*k : (a.Col[i]+1)*k]
-				for c := 0; c < k; c++ {
-					yr[c] += v * xr[c]
-				}
-			}
+		if a.Val == nil {
+			a.mulVecBlockRowsF32(x, y, k, 0, a.N)
+			return
 		}
+		a.mulVecBlockRows(x, y, k, 0, a.N)
+		return
+	}
+	if a.Val == nil {
+		par.ForChunkedW(workers, a.N, func(lo, hi int) {
+			a.mulVecBlockRowsF32(x, y, k, lo, hi)
+		})
 		return
 	}
 	par.ForChunkedW(workers, a.N, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			yr := y.data[r*k : (r+1)*k]
-			for c := range yr {
-				yr[c] = 0
-			}
-			for i := a.Off[r]; i < a.Off[r+1]; i++ {
-				v := a.Val[i]
-				xr := x.data[a.Col[i]*k : (a.Col[i]+1)*k]
-				for c := 0; c < k; c++ {
-					yr[c] += v * xr[c]
-				}
+		a.mulVecBlockRows(x, y, k, lo, hi)
+	})
+}
+
+func (a *Sparse) mulVecBlockRows(x, y *Block, k, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		yr := y.data[r*k : (r+1)*k]
+		for c := range yr {
+			yr[c] = 0
+		}
+		for i := a.Off[r]; i < a.Off[r+1]; i++ {
+			v := a.Val[i]
+			at := int(a.Col[i]) * k
+			xr := x.data[at : at+k]
+			for c := 0; c < k; c++ {
+				yr[c] += v * xr[c]
 			}
 		}
-	})
+	}
+}
+
+func (a *Sparse) mulVecBlockRowsF32(x, y *Block, k, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		yr := y.data[r*k : (r+1)*k]
+		for c := range yr {
+			yr[c] = 0
+		}
+		for i := a.Off[r]; i < a.Off[r+1]; i++ {
+			v := float64(a.Val32[i])
+			at := int(a.Col[i]) * k
+			xr := x.data[at : at+k]
+			for c := 0; c < k; c++ {
+				yr[c] += v * xr[c]
+			}
+		}
+	}
 }
 
 // MulVecAxpyBlockW fuses the Chebyshev residual update into the mat-vec:
@@ -188,7 +211,17 @@ func (a *Sparse) MulVecAxpyBlockW(workers int, x, ap *Block, alpha float64, y *B
 	// value heap-allocates at its declaration, which would break the
 	// sequential path's zero-allocation guarantee.
 	if par.Sequential(workers) {
+		if a.Val == nil {
+			a.mulVecAxpyBlockRowsF32(x, ap, alpha, y, k, 0, a.N)
+			return
+		}
 		a.mulVecAxpyBlockRows(x, ap, alpha, y, k, 0, a.N)
+		return
+	}
+	if a.Val == nil {
+		par.ForChunkedW(workers, a.N, func(lo, hi int) {
+			a.mulVecAxpyBlockRowsF32(x, ap, alpha, y, k, lo, hi)
+		})
 		return
 	}
 	par.ForChunkedW(workers, a.N, func(lo, hi int) {
@@ -204,7 +237,29 @@ func (a *Sparse) mulVecAxpyBlockRows(x, ap *Block, alpha float64, y *Block, k, l
 		}
 		for i := a.Off[r]; i < a.Off[r+1]; i++ {
 			v := a.Val[i]
-			xr := x.data[a.Col[i]*k : (a.Col[i]+1)*k]
+			at := int(a.Col[i]) * k
+			xr := x.data[at : at+k]
+			for c := 0; c < k; c++ {
+				apr[c] += v * xr[c]
+			}
+		}
+		yr := y.data[r*k : (r+1)*k]
+		for c := 0; c < k; c++ {
+			yr[c] = alpha*apr[c] + yr[c]
+		}
+	}
+}
+
+func (a *Sparse) mulVecAxpyBlockRowsF32(x, ap *Block, alpha float64, y *Block, k, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		apr := ap.data[r*k : (r+1)*k]
+		for c := range apr {
+			apr[c] = 0
+		}
+		for i := a.Off[r]; i < a.Off[r+1]; i++ {
+			v := float64(a.Val32[i])
+			at := int(a.Col[i]) * k
+			xr := x.data[at : at+k]
 			for c := 0; c < k; c++ {
 				apr[c] += v * xr[c]
 			}

@@ -82,7 +82,7 @@ func TestNewSparseFromTripletsWorkerEquivalence(t *testing.T) {
 		for r := 0; r < n; r++ {
 			for i := ref.Off[r]; i < ref.Off[r+1]; i++ {
 				nnz++
-				want := acc[[2]int{r, ref.Col[i]}]
+				want := acc[[2]int{r, int(ref.Col[i])}]
 				if math.Abs(ref.Val[i]-want) > 1e-9*(1+math.Abs(want)) {
 					t.Fatalf("m=%d: entry (%d,%d) = %v, naive %v", m, r, ref.Col[i], ref.Val[i], want)
 				}

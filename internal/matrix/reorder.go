@@ -1,0 +1,216 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+
+	"parlap/internal/par"
+)
+
+// Cache-aware level reordering. Elimination leaves each level's vertices in
+// whatever order the greedy rounds produced, so the Chebyshev CSR sweeps
+// walk x with poor locality. CMOrder computes a deterministic Cuthill–McKee
+// BFS relabeling that clusters each vertex near its neighbours; the level
+// apply runs in the permuted space and pays one gather on the way in and
+// one scatter on the way out (pooled workspace scratch, see
+// solver.chebLevel). The permutation is pure data movement — it changes no
+// floating-point operation's operands or order — so worker equivalence and
+// block-vs-single equivalence are untouched.
+
+// CMOrder returns a Cuthill–McKee ordering of a's adjacency structure:
+// perm[j] = the original index of the vertex placed at position j
+// (new → old). The traversal is fully deterministic: components are seeded
+// in ascending (degree, id) order and BFS frontiers expand neighbours in
+// ascending (degree, id) order, independent of Workers.
+func CMOrder(a *Sparse) []int32 {
+	n := a.N
+	deg := func(v int) int { return a.Off[v+1] - a.Off[v] }
+	// Seeds: every vertex, sorted by (degree, id); unvisited ones become
+	// component starts in this order, so each component starts from its
+	// minimum-degree vertex.
+	seeds := make([]int32, n)
+	for v := range seeds {
+		seeds[v] = int32(v)
+	}
+	sort.Slice(seeds, func(i, j int) bool {
+		di, dj := deg(int(seeds[i])), deg(int(seeds[j]))
+		if di != dj {
+			return di < dj
+		}
+		return seeds[i] < seeds[j]
+	})
+	perm := make([]int32, 0, n)
+	visited := make([]bool, n)
+	var frontier []int32
+	for _, s := range seeds {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		perm = append(perm, s)
+		for head := len(perm) - 1; head < len(perm); head++ {
+			u := int(perm[head])
+			frontier = frontier[:0]
+			for i := a.Off[u]; i < a.Off[u+1]; i++ {
+				c := a.Col[i]
+				if int(c) == u || visited[c] {
+					continue
+				}
+				visited[c] = true
+				frontier = append(frontier, c)
+			}
+			sort.Slice(frontier, func(i, j int) bool {
+				di, dj := deg(int(frontier[i])), deg(int(frontier[j]))
+				if di != dj {
+					return di < dj
+				}
+				return frontier[i] < frontier[j]
+			})
+			perm = append(perm, frontier...)
+		}
+	}
+	return perm
+}
+
+// PermuteSparse returns P·A·Pᵀ for the relabeling x_new[j] = x_old[perm[j]]:
+// row j of the result is row perm[j] of a with columns relabeled and
+// re-sorted. Values keep a's storage precision. The input must be a
+// float64-valued matrix (the chain permutes before any f32 conversion).
+func PermuteSparse(workers int, a *Sparse, perm []int32) *Sparse {
+	n := a.N
+	if len(perm) != n {
+		panic(fmt.Sprintf("matrix: PermuteSparse perm length %d != n %d", len(perm), n))
+	}
+	inv := make([]int32, n)
+	for j, v := range perm {
+		inv[v] = int32(j)
+	}
+	p := &Sparse{N: n}
+	p.Off = make([]int, n+1)
+	for j := 0; j < n; j++ {
+		old := int(perm[j])
+		p.Off[j+1] = p.Off[j] + (a.Off[old+1] - a.Off[old])
+	}
+	nnz := p.Off[n]
+	p.Col = make([]int32, nnz)
+	p.Val = make([]float64, nnz)
+	p.Diag = make([]float64, n)
+	par.ForChunkedW(workers, n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			old := int(perm[j])
+			at := p.Off[j]
+			for i := a.Off[old]; i < a.Off[old+1]; i++ {
+				p.Col[at] = inv[a.Col[i]]
+				p.Val[at] = a.Val[i]
+				at++
+			}
+			// Insertion sort the row by column: level rows are short and
+			// near-sorted after a bandwidth-reducing relabeling.
+			row := p.Col[p.Off[j]:at]
+			val := p.Val[p.Off[j]:at]
+			for i := 1; i < len(row); i++ {
+				c, v := row[i], val[i]
+				k := i - 1
+				for k >= 0 && row[k] > c {
+					row[k+1], val[k+1] = row[k], val[k]
+					k--
+				}
+				row[k+1], val[k+1] = c, v
+			}
+			p.Diag[j] = a.Diag[old]
+		}
+	})
+	return p
+}
+
+// GatherW computes dst[j] = src[perm[j]] — natural space into permuted
+// space for a new→old permutation. Disjoint element copies, so any chunking
+// is bitwise identical; the workers==1 path is allocation-free.
+func GatherW(workers int, dst, src []float64, perm []int32) {
+	if par.Sequential(workers) {
+		gatherRange(dst, src, perm, 0, len(perm))
+		return
+	}
+	par.ForChunkedW(workers, len(perm), func(lo, hi int) {
+		gatherRange(dst, src, perm, lo, hi)
+	})
+}
+
+func gatherRange(dst, src []float64, perm []int32, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		dst[j] = src[perm[j]]
+	}
+}
+
+// ScatterW computes dst[perm[j]] = src[j] — permuted space back to natural
+// space. perm is a permutation, so writes are disjoint.
+func ScatterW(workers int, dst, src []float64, perm []int32) {
+	if par.Sequential(workers) {
+		scatterRange(dst, src, perm, 0, len(perm))
+		return
+	}
+	par.ForChunkedW(workers, len(perm), func(lo, hi int) {
+		scatterRange(dst, src, perm, lo, hi)
+	})
+}
+
+func scatterRange(dst, src []float64, perm []int32, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		dst[perm[j]] = src[j]
+	}
+}
+
+// GatherBlockW is GatherW over vertex-major blocks: row j of dst becomes
+// row perm[j] of src.
+func GatherBlockW(workers int, dst, src *Block, perm []int32) {
+	k := dst.k
+	if par.Sequential(workers) {
+		gatherBlockRange(dst.data, src.data, perm, k, 0, len(perm))
+		return
+	}
+	par.ForChunkedW(workers, len(perm), func(lo, hi int) {
+		gatherBlockRange(dst.data, src.data, perm, k, lo, hi)
+	})
+}
+
+func gatherBlockRange(dst, src []float64, perm []int32, k, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		copy(dst[j*k:(j+1)*k], src[int(perm[j])*k:int(perm[j])*k+k])
+	}
+}
+
+// ScatterBlockW is ScatterW over vertex-major blocks: row perm[j] of dst
+// becomes row j of src.
+func ScatterBlockW(workers int, dst, src *Block, perm []int32) {
+	k := dst.k
+	if par.Sequential(workers) {
+		scatterBlockRange(dst.data, src.data, perm, k, 0, len(perm))
+		return
+	}
+	par.ForChunkedW(workers, len(perm), func(lo, hi int) {
+		scatterBlockRange(dst.data, src.data, perm, k, lo, hi)
+	})
+}
+
+func scatterBlockRange(dst, src []float64, perm []int32, k, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		copy(dst[int(perm[j])*k:int(perm[j])*k+k], src[j*k:(j+1)*k])
+	}
+}
+
+// IsPermutation reports whether perm is a permutation of 0..n-1. Snapshot
+// restore validates persisted permutations with it before trusting them in
+// unchecked gather/scatter kernels.
+func IsPermutation(perm []int32, n int) bool {
+	if len(perm) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || int(v) >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

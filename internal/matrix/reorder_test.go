@@ -1,0 +1,153 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomReorderSparse builds a random symmetric Laplacian-shaped test matrix
+// (off-diagonal negatives, row sums on the diagonal) over n vertices.
+func randomReorderSparse(t *testing.T, n int, rng *rand.Rand) *Sparse {
+	t.Helper()
+	var rows, cols []int
+	var vals []float64
+	add := func(r, c int, v float64) {
+		rows = append(rows, r)
+		cols = append(cols, c)
+		vals = append(vals, v)
+	}
+	edge := func(u, v int) {
+		w := 0.1 + rng.Float64()
+		add(u, v, -w)
+		add(v, u, -w)
+		add(u, u, w)
+		add(v, v, w)
+	}
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v) // connected: spanning-tree backbone + extras
+		edge(u, v)
+		if rng.Intn(3) == 0 && v >= 2 {
+			if u2 := rng.Intn(v); u2 != u {
+				edge(u2, v)
+			}
+		}
+	}
+	a, err := NewSparseFromTriplets(n, rows, cols, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestCMOrderIsDeterministicPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(200)
+		a := randomReorderSparse(t, n, rng)
+		perm := CMOrder(a)
+		if !IsPermutation(perm, n) {
+			t.Fatalf("n=%d: CMOrder is not a permutation", n)
+		}
+		again := CMOrder(a)
+		for j := range perm {
+			if perm[j] != again[j] {
+				t.Fatalf("n=%d: CMOrder not deterministic at %d", n, j)
+			}
+		}
+	}
+}
+
+// PermuteSparse must produce exactly P·A·Pᵀ: entry (i, j) of the permuted
+// matrix equals entry (perm[i], perm[j]) of the original, with exact bits,
+// sorted columns, and the diagonal relabeled alongside.
+func TestPermuteSparseExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(120)
+		a := randomReorderSparse(t, n, rng)
+		perm := CMOrder(a)
+		for _, w := range []int{1, 4} {
+			p := PermuteSparse(w, a, perm)
+			if p.NNZ() != a.NNZ() {
+				t.Fatalf("nnz %d vs %d", p.NNZ(), a.NNZ())
+			}
+			entry := func(s *Sparse, r, c int) (float64, bool) {
+				for i := s.Off[r]; i < s.Off[r+1]; i++ {
+					if int(s.Col[i]) == c {
+						return s.Val[i], true
+					}
+				}
+				return 0, false
+			}
+			for j := 0; j < n; j++ {
+				for i := p.Off[j]; i < p.Off[j+1]; i++ {
+					if i > p.Off[j] && p.Col[i-1] >= p.Col[i] {
+						t.Fatalf("workers=%d: row %d columns not strictly sorted", w, j)
+					}
+					want, found := entry(a, int(perm[j]), int(perm[p.Col[i]]))
+					if !found || math.Float64bits(want) != math.Float64bits(p.Val[i]) {
+						t.Fatalf("workers=%d: entry (%d,%d) mismatch", w, j, p.Col[i])
+					}
+				}
+				if math.Float64bits(p.Diag[j]) != math.Float64bits(a.Diag[perm[j]]) {
+					t.Fatalf("workers=%d: diag %d mismatch", w, j)
+				}
+			}
+		}
+	}
+}
+
+// Gather then scatter (and the block forms) must be exact inverses, bitwise
+// identical for every worker count.
+func TestGatherScatterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 257
+	a := randomReorderSparse(t, n, rng)
+	perm := CMOrder(a)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for _, w := range []int{1, 3} {
+		g := make([]float64, n)
+		back := make([]float64, n)
+		GatherW(w, g, x, perm)
+		ScatterW(w, back, g, perm)
+		for i := range x {
+			if math.Float64bits(back[i]) != math.Float64bits(x[i]) {
+				t.Fatalf("workers=%d: gather/scatter not inverse at %d", w, i)
+			}
+		}
+		const k = 3
+		var bx, bg, bb Block
+		bx.Reshape(n, k)
+		bg.Reshape(n, k)
+		bb.Reshape(n, k)
+		for c := 0; c < k; c++ {
+			col := make([]float64, n)
+			for i := range col {
+				col[i] = rng.NormFloat64()
+			}
+			bx.SetCol(c, col)
+		}
+		GatherBlockW(w, &bg, &bx, perm)
+		ScatterBlockW(w, &bb, &bg, perm)
+		for i := range bx.Data() {
+			if math.Float64bits(bb.Data()[i]) != math.Float64bits(bx.Data()[i]) {
+				t.Fatalf("workers=%d: block gather/scatter not inverse at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	if !IsPermutation([]int32{2, 0, 1}, 3) {
+		t.Fatal("valid permutation rejected")
+	}
+	for _, bad := range [][]int32{{0, 0, 1}, {0, 1, 3}, {0, -1, 2}, {0, 1}} {
+		if IsPermutation(bad, 3) {
+			t.Fatalf("invalid permutation %v accepted", bad)
+		}
+	}
+}

@@ -43,7 +43,7 @@ func NewGrembanReductionW(workers int, a *Sparse, dropTol float64) (*GrembanRedu
 	copy(slack, a.Diag)
 	for r := 0; r < n; r++ {
 		for i := a.Off[r]; i < a.Off[r+1]; i++ {
-			c := a.Col[i]
+			c := int(a.Col[i])
 			if c == r {
 				continue
 			}
@@ -111,7 +111,7 @@ func IsLaplacian(a *Sparse, tol float64) bool {
 	for r := 0; r < a.N; r++ {
 		sum := 0.0
 		for i := a.Off[r]; i < a.Off[r+1]; i++ {
-			if a.Col[i] != r && a.Val[i] > tol {
+			if int(a.Col[i]) != r && a.Val[i] > tol {
 				return false
 			}
 			sum += a.Val[i]

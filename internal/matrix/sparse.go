@@ -16,21 +16,66 @@ import (
 
 // Sparse is a square sparse matrix in CSR form. Symmetric matrices store
 // both triangles so MulVec needs no transpose pass.
+//
+// Column indices are int32: every matrix in the preconditioner chain has
+// n « 2³¹, and the apply path is memory-bandwidth-bound, so halving the
+// index traffic is a direct win. Values are float64 by default; a matrix
+// can opt into float32 storage (ConvertValues32) in which case Val is nil
+// and the kernels read Val32, widening each coefficient to float64 before
+// the (unchanged, fixed-grain) accumulation — so worker equivalence and
+// block-vs-single equivalence hold at either precision.
 type Sparse struct {
-	N    int
-	Off  []int     // length N+1
-	Col  []int     // length nnz
-	Val  []float64 // length nnz
-	Diag []float64 // cached diagonal, length N
+	N     int
+	Off   []int     // length N+1
+	Col   []int32   // length nnz
+	Val   []float64 // length nnz, nil when values are stored as float32
+	Val32 []float32 // length nnz when f32 storage is active, else nil
+	Diag  []float64 // cached diagonal, length N (always float64)
 }
 
 // NNZ returns the number of stored entries.
 func (a *Sparse) NNZ() int { return len(a.Col) }
 
 // MemoryBytes estimates the matrix's retained footprint (CSR arrays plus
-// the cached diagonal).
+// the cached diagonal), honouring the compact index and value widths.
 func (a *Sparse) MemoryBytes() int64 {
-	return int64(len(a.Off)+len(a.Col))*8 + int64(len(a.Val)+len(a.Diag))*8
+	return int64(len(a.Off))*8 + int64(len(a.Col))*4 +
+		int64(len(a.Val))*8 + int64(len(a.Val32))*4 + int64(len(a.Diag))*8
+}
+
+// ValuesF32 reports whether the matrix stores its coefficients as float32.
+func (a *Sparse) ValuesF32() bool { return a.Val == nil && a.Val32 != nil }
+
+// ConvertValues32 switches the matrix to float32 value storage (round to
+// nearest), dropping the float64 array. The caller may retain the returned
+// prior Val slice to undo the conversion via RestoreValues64.
+func (a *Sparse) ConvertValues32() []float64 {
+	if a.Val == nil {
+		return nil
+	}
+	v32 := make([]float32, len(a.Val))
+	for i, v := range a.Val {
+		v32[i] = float32(v)
+	}
+	saved := a.Val
+	a.Val32 = v32
+	a.Val = nil
+	return saved
+}
+
+// RestoreValues64 undoes ConvertValues32 with the slice it returned.
+func (a *Sparse) RestoreValues64(saved []float64) {
+	a.Val = saved
+	a.Val32 = nil
+}
+
+// value returns entry i's coefficient regardless of storage precision.
+// Cold-path accessor; the hot kernels branch once per call instead.
+func (a *Sparse) value(i int) float64 {
+	if a.Val != nil {
+		return a.Val[i]
+	}
+	return float64(a.Val32[i])
 }
 
 // entry is a builder triplet.
@@ -68,6 +113,9 @@ func NewSparseFromTripletsW(workers, n int, rows, cols []int, vals []float64) (*
 	if len(rows) != len(cols) || len(rows) != len(vals) {
 		return nil, fmt.Errorf("matrix: triplet slices have mismatched lengths")
 	}
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("matrix: n=%d exceeds the int32 column index range", n)
+	}
 	m := len(rows)
 	// Parallel range validation: min-reduce the first offending index.
 	bad := par.ReduceIntW(workers, m, m, func(i int) int {
@@ -95,7 +143,7 @@ func NewSparseFromTripletsW(workers, n int, rows, cols []int, vals []float64) (*
 	})
 	nnz := len(heads)
 	a := &Sparse{N: n}
-	a.Col = make([]int, nnz)
+	a.Col = make([]int32, nnz)
 	a.Val = make([]float64, nnz)
 	rowCnt := make([]int64, n)
 	// Merge each duplicate run in sorted order (runs are disjoint) and
@@ -111,7 +159,7 @@ func NewSparseFromTripletsW(workers, n int, rows, cols []int, vals []float64) (*
 		for i := lo; i < hi; i++ {
 			s += ents[i].v
 		}
-		a.Col[j] = ents[lo].c
+		a.Col[j] = int32(ents[lo].c)
 		a.Val[j] = s
 		atomic.AddInt64(&rowCnt[ents[lo].r], 1)
 	})
@@ -121,7 +169,7 @@ func NewSparseFromTripletsW(workers, n int, rows, cols []int, vals []float64) (*
 	a.Diag = make([]float64, n)
 	par.ForW(workers, n, func(r int) {
 		for i := a.Off[r]; i < a.Off[r+1]; i++ {
-			if a.Col[i] == r {
+			if int(a.Col[i]) == r {
 				a.Diag[r] = a.Val[i]
 			}
 		}
@@ -171,9 +219,9 @@ func GraphOfW(workers int, a *Sparse) *graph.Graph {
 	var edges []graph.Edge
 	for r := 0; r < a.N; r++ {
 		for i := a.Off[r]; i < a.Off[r+1]; i++ {
-			c := a.Col[i]
-			if c > r && a.Val[i] < 0 {
-				edges = append(edges, graph.Edge{U: r, V: c, W: -a.Val[i]})
+			c := int(a.Col[i])
+			if c > r && a.value(i) < 0 {
+				edges = append(edges, graph.Edge{U: r, V: c, W: -a.value(i)})
 			}
 		}
 	}
@@ -185,27 +233,51 @@ func (a *Sparse) MulVec(x, y []float64) { a.MulVecW(0, x, y) }
 
 // MulVecW is MulVec with an explicit worker count. Rows are independent, so
 // the workers==1 fast path (no closure, no goroutines, no allocation) is
-// bitwise identical to every parallel schedule.
+// bitwise identical to every parallel schedule. A float32-valued matrix
+// widens each coefficient before the same left-to-right row accumulation,
+// so the f32 path keeps the identical determinism walls.
 func (a *Sparse) MulVecW(workers int, x, y []float64) {
 	if par.Sequential(workers) {
-		for r := 0; r < a.N; r++ {
-			s := 0.0
-			for i := a.Off[r]; i < a.Off[r+1]; i++ {
-				s += a.Val[i] * x[a.Col[i]]
-			}
-			y[r] = s
+		if a.Val == nil {
+			mulVecRowsF32(a, x, y, 0, a.N)
+			return
 		}
+		mulVecRows(a, x, y, 0, a.N)
+		return
+	}
+	if a.Val == nil {
+		par.ForChunkedW(workers, a.N, func(lo, hi int) {
+			mulVecRowsF32(a, x, y, lo, hi)
+		})
 		return
 	}
 	par.ForChunkedW(workers, a.N, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			s := 0.0
-			for i := a.Off[r]; i < a.Off[r+1]; i++ {
-				s += a.Val[i] * x[a.Col[i]]
-			}
-			y[r] = s
-		}
+		mulVecRows(a, x, y, lo, hi)
 	})
+}
+
+// mulVecRows is the f64 row kernel shared by the sequential fast path and
+// each parallel chunk (named, not a closure: the sequential call must not
+// allocate).
+func mulVecRows(a *Sparse, x, y []float64, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		s := 0.0
+		for i := a.Off[r]; i < a.Off[r+1]; i++ {
+			s += a.Val[i] * x[a.Col[i]]
+		}
+		y[r] = s
+	}
+}
+
+// mulVecRowsF32 is the float32-valued twin of mulVecRows.
+func mulVecRowsF32(a *Sparse, x, y []float64, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		s := 0.0
+		for i := a.Off[r]; i < a.Off[r+1]; i++ {
+			s += float64(a.Val32[i]) * x[a.Col[i]]
+		}
+		y[r] = s
+	}
 }
 
 // Apply allocates and returns A·x.
@@ -221,8 +293,8 @@ func (a *Sparse) IsSDD(tol float64) bool {
 	// Symmetry check via entry lookup.
 	get := func(r, c int) float64 {
 		for i := a.Off[r]; i < a.Off[r+1]; i++ {
-			if a.Col[i] == c {
-				return a.Val[i]
+			if int(a.Col[i]) == c {
+				return a.value(i)
 			}
 		}
 		return 0
@@ -230,14 +302,15 @@ func (a *Sparse) IsSDD(tol float64) bool {
 	for r := 0; r < a.N; r++ {
 		offSum := 0.0
 		for i := a.Off[r]; i < a.Off[r+1]; i++ {
-			c := a.Col[i]
+			c := int(a.Col[i])
 			if c == r {
 				continue
 			}
-			if math.Abs(a.Val[i]-get(c, r)) > tol*(1+math.Abs(a.Val[i])) {
+			v := a.value(i)
+			if math.Abs(v-get(c, r)) > tol*(1+math.Abs(v)) {
 				return false
 			}
-			offSum += math.Abs(a.Val[i])
+			offSum += math.Abs(v)
 		}
 		if a.Diag[r] < offSum-tol*(1+offSum) {
 			return false

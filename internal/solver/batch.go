@@ -130,11 +130,17 @@ func (c *Chain) PrecondApplyBatchW(workers int, rs [][]float64) [][]float64 {
 func (c *Chain) chebLevelBlock(workers, i int, bs *matrix.Block, ws *workspace) *matrix.Block {
 	k := bs.K()
 	l := &ws.lvl[i]
+	lvl := &c.Levels[i]
 	if k == 1 {
 		c.chebLevel(workers, i, bs.Vec(), ws)
+		if lvl.Perm != nil {
+			return &l.permNat // the permuted single path returns natural order
+		}
 		return &l.chebX
 	}
-	lvl := &c.Levels[i]
+	if lvl.Perm != nil {
+		return c.chebLevelBlockPerm(workers, i, bs, ws)
+	}
 	a := lvl.Lap
 	ci := lvl.CompIdx
 	x, r, p, ap := &l.chebX, &l.chebR, &l.chebP, &l.chebAp
@@ -160,6 +166,45 @@ func (c *Chain) chebLevelBlock(workers, i int, bs *matrix.Block, ws *workspace) 
 	matrix.ProjectOutConstantMaskedBlockIdxW(workers, x, ci, l.scal)
 	ws.trace.ChebNS[obs.LevelIndex(i)] += time.Since(t0).Nanoseconds() - innerNS
 	return x
+}
+
+// chebLevelBlockPerm is chebLevelPerm's k-lane form: sweep state in the
+// level's Cuthill–McKee order streaming LapP, with a block scatter into the
+// elimination's natural order before each recursive application and a block
+// gather after it. Lane c performs exactly chebLevelPerm's operations, so
+// block-vs-single equivalence holds on reordered chains too.
+func (c *Chain) chebLevelBlockPerm(workers, i int, bs *matrix.Block, ws *workspace) *matrix.Block {
+	lvl := &c.Levels[i]
+	a := lvl.LapP
+	ci := lvl.CompIdxP
+	perm := lvl.Perm
+	l := &ws.lvl[i]
+	k := bs.K()
+	x, r, p, ap := &l.chebX, &l.chebR, &l.chebP, &l.chebAp
+	nat, zp := &l.permNat, &l.permZ
+	n := a.N
+	t0 := time.Now()
+	var innerNS int64
+	x.Zero()
+	matrix.GatherBlockW(workers, r, bs, perm)
+	matrix.ProjectOutConstantMaskedBlockIdxW(workers, r, ci, l.scal)
+	co := newChebCoeffs(lvl.EigLo, lvl.EigHi)
+	for it := 0; it < lvl.ChebIts; it++ {
+		matrix.ScatterBlockW(workers, nat, r, perm)
+		ta := time.Now()
+		z := c.applyHBlock(workers, i, nat, ws)
+		innerNS += time.Since(ta).Nanoseconds()
+		matrix.GatherBlockW(workers, zp, z, perm)
+		matrix.ProjectOutConstantMaskedBlockIdxW(workers, zp, ci, l.scal)
+		alpha, beta, first := co.step(it)
+		matrix.ChebUpdateBlockW(workers, p, zp, beta, x, alpha, first)
+		a.MulVecAxpyBlockW(workers, p, ap, -alpha, r)
+		c.rec.Add(int64(k)*int64(a.NNZ()+8*n), 2)
+	}
+	matrix.ProjectOutConstantMaskedBlockIdxW(workers, x, ci, l.scal)
+	matrix.ScatterBlockW(workers, nat, x, perm)
+	ws.trace.ChebNS[obs.LevelIndex(i)] += time.Since(t0).Nanoseconds() - innerNS
+	return nat
 }
 
 // finishBlockLane retires one lane of the outer driver's iterate block: its
